@@ -1,0 +1,91 @@
+"""Ablation — the (α, β) filter-tuning heuristic (§4 "Tuning Heuristic").
+
+The paper sets ``Bt = α·δ·Co`` (α = 1 fast / 0.1 slow) and ``Rt = β·n``
+(β = 0.7) by intuition, not exhaustive search, and leaves tuning to future
+work.  This bench sweeps each knob around the paper's point on the typical
+workload and reports how cp-Switch completion time, configuration count,
+and the volume routed to composite paths respond:
+
+* raising β (stricter fan-out) shrinks the filtered volume until the
+  composite paths sit idle and cp degenerates to h;
+* raising α (larger Bt) admits bigger entries whose dedicated circuits
+  would have amortized δ on their own, wasting composite-path time.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import emit, run_point
+from repro.core.config import FilterConfig
+from repro.workloads.combined import CombinedWorkload
+
+RADIX = 64
+ALPHAS = (0.25, 0.5, 1.0, 2.0, 4.0)
+BETAS = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def _alpha_rows():
+    rows = []
+    for alpha in ALPHAS:
+        res = run_point(
+            lambda p: CombinedWorkload.typical(p),
+            "solstice",
+            "fast",
+            RADIX,
+            filter_config=FilterConfig(alpha=alpha),
+        )
+        rows.append(
+            [
+                alpha,
+                res.cp_completion_total.mean,
+                res.cp_completion_o2m.mean,
+                res.cp_configs.mean,
+                res.h_completion_total.mean,
+            ]
+        )
+    return rows
+
+
+def _beta_rows():
+    rows = []
+    for beta in BETAS:
+        res = run_point(
+            lambda p: CombinedWorkload.typical(p),
+            "solstice",
+            "fast",
+            RADIX,
+            filter_config=FilterConfig(beta=beta),
+        )
+        rows.append(
+            [
+                beta,
+                res.cp_completion_total.mean,
+                res.cp_completion_o2m.mean,
+                res.cp_configs.mean,
+                res.h_completion_total.mean,
+            ]
+        )
+    return rows
+
+
+def test_ablation_alpha_sweep(benchmark):
+    rows = benchmark.pedantic(_alpha_rows, rounds=1, iterations=1)
+    emit(
+        "ablation_alpha",
+        f"Ablation - Bt factor alpha sweep (beta=0.7, radix {RADIX}, typical, Fast OCS, Solstice)",
+        ["alpha", "cp total", "cp o2m", "cp configs", "h total (ref)"],
+        rows,
+    )
+
+
+def test_ablation_beta_sweep(benchmark):
+    rows = benchmark.pedantic(_beta_rows, rounds=1, iterations=1)
+    emit(
+        "ablation_beta",
+        f"Ablation - Rt factor beta sweep (alpha=1, radix {RADIX}, typical, Fast OCS, Solstice)",
+        ["beta", "cp total", "cp o2m", "cp configs", "h total (ref)"],
+        rows,
+    )
+    # At beta far above the generated fan-out the filter captures nothing,
+    # so cp must degenerate towards the h-Switch baseline.
+    strictest = rows[-1]
+    assert strictest[1] <= strictest[4] * 1.10

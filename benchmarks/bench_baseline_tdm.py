@@ -1,0 +1,70 @@
+"""Baseline ladder — TDM strawman vs Solstice vs cp-Switch (Figure 1).
+
+The paper's opening figure contrasts naive TDM serialization of a
+one-to-many coflow (Figure 1(a)) with the composite-path service
+(Figure 1(b)).  This bench quantifies the whole ladder on the §3.2
+workload: how much the *scheduler* buys over naive TDM, and how much the
+*architecture* (composite paths) buys on top — for both, wrapping the same
+sub-scheduler per Algorithm 4's genericity.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SEED, emit, params_for, trials
+from repro.analysis.aggregate import aggregate
+from repro.core.scheduler import CpSwitchScheduler
+from repro.hybrid.solstice import SolsticeScheduler
+from repro.hybrid.tdm import TdmScheduler
+from repro.sim import simulate_cp, simulate_hybrid
+from repro.utils.rng import spawn_rngs
+from repro.workloads.skewed import SkewedWorkload
+
+RADIX = 64
+
+
+def _rows(ocs: str):
+    params = params_for(ocs, RADIX)
+    workload = SkewedWorkload.for_params(params)
+    specs = [workload.generate(RADIX, rng) for rng in spawn_rngs(BENCH_SEED, trials())]
+
+    ladder = [
+        ("TDM h-Switch (Fig 1a)", TdmScheduler(adaptive=True), False),
+        ("Solstice h-Switch", SolsticeScheduler(), False),
+        ("TDM cp-Switch", TdmScheduler(adaptive=True), True),
+        ("Solstice cp-Switch (Fig 1b)", SolsticeScheduler(), True),
+    ]
+    rows = []
+    for label, scheduler, composite in ladder:
+        totals, configs = [], []
+        for spec in specs:
+            if composite:
+                cp_schedule = CpSwitchScheduler(scheduler).schedule(spec.demand, params)
+                result = simulate_cp(spec.demand, cp_schedule, params)
+            else:
+                schedule = scheduler.schedule(spec.demand, params)
+                result = simulate_hybrid(spec.demand, schedule, params)
+            totals.append(result.completion_time)
+            configs.append(result.n_configs)
+        rows.append([label, aggregate(totals).mean, aggregate(configs).mean])
+    return rows
+
+
+def test_baseline_ladder_fast(benchmark):
+    rows = benchmark.pedantic(_rows, args=("fast",), rounds=1, iterations=1)
+    emit(
+        "baseline_tdm",
+        f"Baseline ladder - skewed demand, radix {RADIX}, Fast OCS",
+        ["system", "completion (ms)", "OCS configurations"],
+        rows,
+    )
+    tdm_h, solstice_h, tdm_cp, solstice_cp = (row[1] for row in rows)
+    # Architecture dominates scheduling for skewed traffic: BOTH cp
+    # variants beat BOTH h variants (and typically coincide — the whole
+    # coflow rides one composite configuration either way, which is
+    # Algorithm 4's genericity claim made concrete).  Note the h-Switch
+    # ordering itself is workload-dependent: on pure skewed demand
+    # adaptive TDM can edge out Solstice, whose stuffing pads heavily.
+    assert max(tdm_cp, solstice_cp) < min(tdm_h, solstice_h)
+    # Scheduling intelligence still shows in configuration counts.
+    tdm_h_cfg, solstice_h_cfg = rows[0][2], rows[1][2]
+    assert solstice_h_cfg <= tdm_h_cfg + 1e-9

@@ -1,0 +1,67 @@
+"""Figure 10 — Intensive Typical DCN and One-to-Many/Many-to-One Demand:
+OCS Utilization (Eclipse-based).
+
+Paper result: the same utilization-improvement trend as Figure 8 holds
+under the 4x-density background — the cp-Switch scheduler is stable when
+stressed.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import emit, radices, trials
+from repro.analysis.figures import figure10
+
+HEADERS = ["radix", "h OCS fraction", "cp OCS fraction", "cp/h"]
+
+
+def _rows(ocs: str):
+    rows = []
+    config_rows = []
+    for point in figure10(ocs, radices=radices(), n_trials=trials()):
+        n, res = point.n_ports, point.result
+        rows.append(
+            [
+                n,
+                res.h_ocs_fraction.mean,
+                res.cp_ocs_fraction.mean,
+                f"{res.utilization_gain:.2f}x",
+            ]
+        )
+        config_rows.append([n, res.h_configs.mean, res.cp_configs.mean])
+    return rows, config_rows
+
+
+def test_fig10a_utilization_fast_ocs(benchmark):
+    rows, config_rows = benchmark.pedantic(_rows, args=("fast",), rounds=1, iterations=1)
+    emit(
+        "fig10a",
+        "Figure 10(a) - OCS utilization, intensive DCN + skewed demand, Fast OCS (Eclipse, 1 ms)",
+        HEADERS,
+        rows,
+    )
+    emit(
+        "fig10c_fast",
+        "Figure 10(c) - OCS configurations, intensive DCN + skewed, Fast OCS (Eclipse)",
+        ["radix", "h configs", "cp configs"],
+        config_rows,
+    )
+    for row in rows:
+        assert row[2] >= row[1] * 0.98, "cp OCS fraction must not materially regress"
+
+
+def test_fig10b_utilization_slow_ocs(benchmark):
+    rows, config_rows = benchmark.pedantic(_rows, args=("slow",), rounds=1, iterations=1)
+    emit(
+        "fig10b",
+        "Figure 10(b) - OCS utilization, intensive DCN + skewed demand, Slow OCS (Eclipse, 100 ms)",
+        HEADERS,
+        rows,
+    )
+    emit(
+        "fig10c_slow",
+        "Figure 10(c) - OCS configurations, intensive DCN + skewed, Slow OCS (Eclipse)",
+        ["radix", "h configs", "cp configs"],
+        config_rows,
+    )
+    for row in rows:
+        assert row[2] >= row[1] * 0.98

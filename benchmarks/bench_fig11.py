@@ -1,0 +1,76 @@
+"""Figure 11 — Typical DCN Traffic and Increasing One-to-Many/Many-to-One
+Demand (Solstice-based).
+
+The number of skewed senders/receivers k grows from 1 to 6.  Paper result:
+the cp-Switch advantage shrinks as the two composite paths saturate; at
+radix 128 with more than ~4 skewed ports per direction cp-Switch can end up
+*slower* than h-Switch — the motivation for the k-composite-paths extension
+(see bench_ablation_multipath).
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import emit, pct_gain, radices, trials
+from repro.analysis.figures import figure11
+
+SKEW_COUNTS = (1, 2, 3, 4, 5, 6)
+
+HEADERS = [
+    "radix",
+    "k",
+    "h total",
+    "cp total",
+    "total gain",
+    "h skewed",
+    "cp skewed",
+    "skew gain",
+]
+
+
+def _rows(ocs: str):
+    rows = []
+    for point in figure11(ocs, radices=radices(), skew_counts=SKEW_COUNTS, n_trials=trials()):
+        n, k, res = point.n_ports, point.skewed_ports, point.result
+        h_skew = max(res.h_completion_o2m.mean, res.h_completion_m2o.mean)
+        cp_skew = max(res.cp_completion_o2m.mean, res.cp_completion_m2o.mean)
+        rows.append(
+            [
+                n,
+                k,
+                res.h_completion_total.mean,
+                res.cp_completion_total.mean,
+                f"{pct_gain(res.h_completion_total.mean, res.cp_completion_total.mean):.0f}%",
+                h_skew,
+                cp_skew,
+                f"{pct_gain(h_skew, cp_skew):.0f}%",
+            ]
+        )
+    return rows
+
+
+def test_fig11ab_fast_ocs(benchmark):
+    rows = benchmark.pedantic(_rows, args=("fast",), rounds=1, iterations=1)
+    emit(
+        "fig11_fast",
+        "Figure 11(a,b) - completion time (ms) vs skewed port count k, Fast OCS (Solstice)",
+        HEADERS,
+        rows,
+    )
+    # The composite-path advantage on the skewed subset shrinks with k.
+    for n in radices():
+        subset = [row for row in rows if row[0] == n]
+        first_gain = 1 - subset[0][6] / subset[0][5]
+        last_gain = 1 - subset[-1][6] / subset[-1][5]
+        assert first_gain >= last_gain - 0.15, (
+            f"radix {n}: skew gain should not grow as composite paths saturate"
+        )
+
+
+def test_fig11cd_slow_ocs(benchmark):
+    rows = benchmark.pedantic(_rows, args=("slow",), rounds=1, iterations=1)
+    emit(
+        "fig11_slow",
+        "Figure 11(c,d) - completion time (ms) vs skewed port count k, Slow OCS (Solstice)",
+        HEADERS,
+        rows,
+    )

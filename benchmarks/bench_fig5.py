@@ -1,0 +1,75 @@
+"""Figure 5 — One-to-Many/Many-to-One Demand Example: Completion Time
+(Solstice-based) and OCS configurations.
+
+Paper result: cp-Switch completes the total, o2m, and m2o demands faster
+than h-Switch for both OCS classes; the advantage grows with the switch
+radix because h-Switch needs one reconfiguration per destination/source
+while cp-Switch needs none (Figure 5(c)).
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import emit, pct_gain, radices, trials
+from repro.analysis.figures import figure5
+
+
+def _rows(ocs: str):
+    rows = []
+    config_rows = []
+    for point in figure5(ocs, radices=radices(), n_trials=trials()):
+        n, res = point.n_ports, point.result
+        rows.append(
+            [
+                n,
+                res.h_completion_total.mean,
+                res.cp_completion_total.mean,
+                res.h_completion_o2m.mean,
+                res.cp_completion_o2m.mean,
+                res.h_completion_m2o.mean,
+                res.cp_completion_m2o.mean,
+                f"{pct_gain(res.h_completion_total.mean, res.cp_completion_total.mean):.0f}%",
+            ]
+        )
+        config_rows.append([n, res.h_configs.mean, res.cp_configs.mean])
+    return rows, config_rows
+
+
+HEADERS = ["radix", "h total", "cp total", "h o2m", "cp o2m", "h m2o", "cp m2o", "cp gain"]
+
+
+def test_fig5a_completion_fast_ocs(benchmark):
+    rows, config_rows = benchmark.pedantic(_rows, args=("fast",), rounds=1, iterations=1)
+    emit(
+        "fig5a",
+        "Figure 5(a) - completion time (ms), skewed demand, Fast OCS (Solstice)",
+        HEADERS,
+        rows,
+    )
+    emit(
+        "fig5c_fast",
+        "Figure 5(c) - OCS configurations, skewed demand, Fast OCS",
+        ["radix", "h configs", "cp configs"],
+        config_rows,
+    )
+    for row in rows:
+        assert row[2] < row[1], "cp-Switch must complete the total demand faster"
+    for row in config_rows:
+        assert row[2] < row[1], "cp-Switch must need fewer OCS configurations"
+
+
+def test_fig5b_completion_slow_ocs(benchmark):
+    rows, config_rows = benchmark.pedantic(_rows, args=("slow",), rounds=1, iterations=1)
+    emit(
+        "fig5b",
+        "Figure 5(b) - completion time (ms), skewed demand, Slow OCS (Solstice)",
+        HEADERS,
+        rows,
+    )
+    emit(
+        "fig5c_slow",
+        "Figure 5(c) - OCS configurations, skewed demand, Slow OCS",
+        ["radix", "h configs", "cp configs"],
+        config_rows,
+    )
+    for row in rows:
+        assert row[2] < row[1]

@@ -1,0 +1,73 @@
+"""Figure 6 — One-to-Many/Many-to-One Demand Example: Fraction of Demand
+Served by the OCS (Eclipse-based) and OCS configurations.
+
+Paper result: h-Switch utilization degrades with radix (fast OCS spends
+more than half the 1 ms window reconfiguring — about 31-35 configurations
+at 20 us each); cp-Switch stays near full utilization with 1-2
+configurations.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import emit, radices, trials
+from repro.analysis.figures import figure6
+
+
+def _rows(ocs: str):
+    rows = []
+    config_rows = []
+    for point in figure6(ocs, radices=radices(), n_trials=trials()):
+        n, res = point.n_ports, point.result
+        rows.append(
+            [
+                n,
+                res.h_ocs_fraction.mean,
+                res.cp_ocs_fraction.mean,
+                f"{res.utilization_gain:.2f}x",
+            ]
+        )
+        config_rows.append([n, res.h_configs.mean, res.cp_configs.mean])
+    return rows, config_rows
+
+
+HEADERS = ["radix", "h OCS fraction", "cp OCS fraction", "cp/h"]
+
+
+def test_fig6a_utilization_fast_ocs(benchmark):
+    rows, config_rows = benchmark.pedantic(_rows, args=("fast",), rounds=1, iterations=1)
+    emit(
+        "fig6a",
+        "Figure 6(a) - fraction of demand over OCS, skewed demand, Fast OCS (Eclipse, 1 ms window)",
+        HEADERS,
+        rows,
+    )
+    emit(
+        "fig6c_fast",
+        "Figure 6(c) - OCS configurations, skewed demand, Fast OCS (Eclipse)",
+        ["radix", "h configs", "cp configs"],
+        config_rows,
+    )
+    for row in rows:
+        assert row[2] > row[1], "cp-Switch must serve a larger fraction over the OCS"
+    # Paper: h-Switch needs ~31-35 configs; cp-Switch at most a handful.
+    for row in config_rows:
+        assert row[1] >= 20
+        assert row[2] <= 6
+
+
+def test_fig6b_utilization_slow_ocs(benchmark):
+    rows, config_rows = benchmark.pedantic(_rows, args=("slow",), rounds=1, iterations=1)
+    emit(
+        "fig6b",
+        "Figure 6(b) - fraction of demand over OCS, skewed demand, Slow OCS (Eclipse, 100 ms window)",
+        HEADERS,
+        rows,
+    )
+    emit(
+        "fig6c_slow",
+        "Figure 6(c) - OCS configurations, skewed demand, Slow OCS (Eclipse)",
+        ["radix", "h configs", "cp configs"],
+        config_rows,
+    )
+    for row in rows:
+        assert row[2] > row[1]

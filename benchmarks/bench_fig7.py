@@ -1,0 +1,85 @@
+"""Figure 7 — Typical DCN with One-to-Many/Many-to-One Demand:
+Completion Time (Solstice-based) and OCS configurations.
+
+Paper result (fast OCS): cp-Switch cuts the o2m/m2o completion by 15-70 %
+and the total by 9-37 %; (slow OCS): 11-75 % and 4-49 %.  Fewer OCS
+configurations drive both.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import emit, pct_gain, radices, trials
+from repro.analysis.figures import figure7
+
+HEADERS = [
+    "radix",
+    "h total",
+    "cp total",
+    "total gain",
+    "h o2m",
+    "cp o2m",
+    "o2m gain",
+    "h m2o",
+    "cp m2o",
+    "m2o gain",
+]
+
+
+def _rows(ocs: str):
+    rows = []
+    config_rows = []
+    for point in figure7(ocs, radices=radices(), n_trials=trials()):
+        n, res = point.n_ports, point.result
+        rows.append(
+            [
+                n,
+                res.h_completion_total.mean,
+                res.cp_completion_total.mean,
+                f"{pct_gain(res.h_completion_total.mean, res.cp_completion_total.mean):.0f}%",
+                res.h_completion_o2m.mean,
+                res.cp_completion_o2m.mean,
+                f"{pct_gain(res.h_completion_o2m.mean, res.cp_completion_o2m.mean):.0f}%",
+                res.h_completion_m2o.mean,
+                res.cp_completion_m2o.mean,
+                f"{pct_gain(res.h_completion_m2o.mean, res.cp_completion_m2o.mean):.0f}%",
+            ]
+        )
+        config_rows.append([n, res.h_configs.mean, res.cp_configs.mean])
+    return rows, config_rows
+
+
+def test_fig7a_completion_fast_ocs(benchmark):
+    rows, config_rows = benchmark.pedantic(_rows, args=("fast",), rounds=1, iterations=1)
+    emit(
+        "fig7a",
+        "Figure 7(a) - completion time (ms), typical DCN + skewed demand, Fast OCS (Solstice)",
+        HEADERS,
+        rows,
+    )
+    emit(
+        "fig7c_fast",
+        "Figure 7(c) - OCS configurations, typical DCN + skewed, Fast OCS",
+        ["radix", "h configs", "cp configs"],
+        config_rows,
+    )
+    for row in rows:
+        assert row[2] <= row[1] * 1.02, "cp total completion must not regress"
+        assert row[5] < row[4], "cp must improve the o2m coflow completion"
+
+
+def test_fig7b_completion_slow_ocs(benchmark):
+    rows, config_rows = benchmark.pedantic(_rows, args=("slow",), rounds=1, iterations=1)
+    emit(
+        "fig7b",
+        "Figure 7(b) - completion time (ms), typical DCN + skewed demand, Slow OCS (Solstice)",
+        HEADERS,
+        rows,
+    )
+    emit(
+        "fig7c_slow",
+        "Figure 7(c) - OCS configurations, typical DCN + skewed, Slow OCS",
+        ["radix", "h configs", "cp configs"],
+        config_rows,
+    )
+    for row in rows:
+        assert row[5] < row[4]

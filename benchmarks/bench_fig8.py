@@ -1,0 +1,67 @@
+"""Figure 8 — Typical DCN with One-to-Many/Many-to-One Demand:
+OCS Utilization (Eclipse-based) and OCS configurations.
+
+Paper result: cp-Switch improves the fraction of demand served by the OCS
+within the window for every radix (up to severalfold), with Eclipse's
+configuration count roughly radix-independent.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import emit, radices, trials
+from repro.analysis.figures import figure8
+
+HEADERS = ["radix", "h OCS fraction", "cp OCS fraction", "cp/h"]
+
+
+def _rows(ocs: str):
+    rows = []
+    config_rows = []
+    for point in figure8(ocs, radices=radices(), n_trials=trials()):
+        n, res = point.n_ports, point.result
+        rows.append(
+            [
+                n,
+                res.h_ocs_fraction.mean,
+                res.cp_ocs_fraction.mean,
+                f"{res.utilization_gain:.2f}x",
+            ]
+        )
+        config_rows.append([n, res.h_configs.mean, res.cp_configs.mean])
+    return rows, config_rows
+
+
+def test_fig8a_utilization_fast_ocs(benchmark):
+    rows, config_rows = benchmark.pedantic(_rows, args=("fast",), rounds=1, iterations=1)
+    emit(
+        "fig8a",
+        "Figure 8(a) - OCS utilization, typical DCN + skewed demand, Fast OCS (Eclipse, 1 ms)",
+        HEADERS,
+        rows,
+    )
+    emit(
+        "fig8c_fast",
+        "Figure 8(c) - OCS configurations, typical DCN + skewed, Fast OCS (Eclipse)",
+        ["radix", "h configs", "cp configs"],
+        config_rows,
+    )
+    for row in rows:
+        assert row[2] >= row[1], "cp OCS fraction must not regress"
+
+
+def test_fig8b_utilization_slow_ocs(benchmark):
+    rows, config_rows = benchmark.pedantic(_rows, args=("slow",), rounds=1, iterations=1)
+    emit(
+        "fig8b",
+        "Figure 8(b) - OCS utilization, typical DCN + skewed demand, Slow OCS (Eclipse, 100 ms)",
+        HEADERS,
+        rows,
+    )
+    emit(
+        "fig8c_slow",
+        "Figure 8(c) - OCS configurations, typical DCN + skewed, Slow OCS (Eclipse)",
+        ["radix", "h configs", "cp configs"],
+        config_rows,
+    )
+    for row in rows:
+        assert row[2] >= row[1]

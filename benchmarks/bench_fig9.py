@@ -1,0 +1,86 @@
+"""Figure 9 — Intensive Typical DCN and One-to-Many/Many-to-One Demand:
+Completion Time (Solstice-based) and OCS configurations.
+
+Paper result: with a 4x-density background, radix-32 completion times are
+nearly identical (the background dominates both switches); by radix 128
+cp-Switch wins by up to 7 % (fast) / 27 % (slow) on the total demand and by
+46-80 % on the skewed subset.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import emit, pct_gain, radices, trials
+from repro.analysis.figures import figure9
+
+HEADERS = [
+    "radix",
+    "h total",
+    "cp total",
+    "total gain",
+    "h o2m",
+    "cp o2m",
+    "o2m gain",
+    "h m2o",
+    "cp m2o",
+    "m2o gain",
+]
+
+
+def _rows(ocs: str):
+    rows = []
+    config_rows = []
+    for point in figure9(ocs, radices=radices(), n_trials=trials()):
+        n, res = point.n_ports, point.result
+        rows.append(
+            [
+                n,
+                res.h_completion_total.mean,
+                res.cp_completion_total.mean,
+                f"{pct_gain(res.h_completion_total.mean, res.cp_completion_total.mean):.0f}%",
+                res.h_completion_o2m.mean,
+                res.cp_completion_o2m.mean,
+                f"{pct_gain(res.h_completion_o2m.mean, res.cp_completion_o2m.mean):.0f}%",
+                res.h_completion_m2o.mean,
+                res.cp_completion_m2o.mean,
+                f"{pct_gain(res.h_completion_m2o.mean, res.cp_completion_m2o.mean):.0f}%",
+            ]
+        )
+        config_rows.append([n, res.h_configs.mean, res.cp_configs.mean])
+    return rows, config_rows
+
+
+def test_fig9a_completion_fast_ocs(benchmark):
+    rows, config_rows = benchmark.pedantic(_rows, args=("fast",), rounds=1, iterations=1)
+    emit(
+        "fig9a",
+        "Figure 9(a) - completion time (ms), intensive DCN + skewed demand, Fast OCS (Solstice)",
+        HEADERS,
+        rows,
+    )
+    emit(
+        "fig9c_fast",
+        "Figure 9(c) - OCS configurations, intensive DCN + skewed, Fast OCS",
+        ["radix", "h configs", "cp configs"],
+        config_rows,
+    )
+    # The paper's signature shape: near-tie at low radix, cp ahead at the
+    # largest radix.
+    if 128 in radices():
+        last = rows[-1]
+        assert last[2] <= last[1] * 1.02
+
+
+def test_fig9b_completion_slow_ocs(benchmark):
+    rows, config_rows = benchmark.pedantic(_rows, args=("slow",), rounds=1, iterations=1)
+    emit(
+        "fig9b",
+        "Figure 9(b) - completion time (ms), intensive DCN + skewed demand, Slow OCS (Solstice)",
+        HEADERS,
+        rows,
+    )
+    emit(
+        "fig9c_slow",
+        "Figure 9(c) - OCS configurations, intensive DCN + skewed, Slow OCS",
+        ["radix", "h configs", "cp configs"],
+        config_rows,
+    )

@@ -1,0 +1,136 @@
+"""Sensitivity — where the composite-path benefit comes from.
+
+The paper evaluates one operating point per OCS class (Co/Ce = 10,
+δ ∈ {20 µs, 20 ms}).  This study sweeps the two physical knobs on the
+§3.2 skewed workload and maps the benefit region:
+
+* **rate ratio Co/Ce** — composite paths convert optical bandwidth into
+  parallel electronic deliveries, worth it only while the fan-out's
+  aggregate EPS rate covers the optical rate (fan-out ≥ Co/Ce).  As the
+  ratio grows past the fan-out the composite path becomes EPS-bound and
+  the advantage shrinks;
+* **reconfiguration penalty δ** — an inverted U as well.  The h-Switch
+  pays δ per destination and the cp-Switch once, so the gain first grows
+  with δ; but once δ exceeds the time the EPS needs for the whole coflow,
+  the right answer is to skip the OCS entirely — the h-Switch (whose
+  Solstice stops scheduling circuits) does, while the reduction still
+  routes the coflow through one δ-costing composite configuration.  This
+  is precisely why the paper scales demand volumes 100× when it evaluates
+  the 1000×-slower OCS: the coupling keeps δ inside the benefit region.
+  The sweep pins the filter (``Bt`` fixed above the entry size) to
+  isolate the physics; with the default ``Bt = α·δ·Co`` heuristic a tiny
+  δ would shrink ``Bt`` below the entry size and disable the composite
+  paths outright (see `bench_ablation_tuning.py`).
+
+Both trends quantify the paper's qualitative arguments (§2.2's intuition
+(b), §3.2's "more significant for the Slow OCS").
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import BENCH_SEED, emit, trials
+from repro.analysis.experiment import ExperimentConfig, run_comparison
+from repro.core.config import FilterConfig
+from repro.switch.params import SwitchParams
+from repro.workloads.skewed import SkewedWorkload
+
+RADIX = 64
+RATIOS = (2, 5, 10, 25, 50)  # Co/Ce with Co fixed at 100
+DELTAS = (0.002, 0.02, 0.2, 2.0, 20.0)  # ms
+
+
+def _ratio_rows():
+    rows = []
+    for ratio in RATIOS:
+        params = SwitchParams(
+            n_ports=RADIX,
+            eps_rate=100.0 / ratio,
+            ocs_rate=100.0,
+            reconfig_delay=0.02,
+        )
+        result = run_comparison(
+            ExperimentConfig(
+                workload=SkewedWorkload.for_params(params),
+                params=params,
+                scheduler="solstice",
+                n_trials=trials(),
+                seed=BENCH_SEED,
+            )
+        )
+        speedup = (
+            result.h_completion_total.mean / result.cp_completion_total.mean
+            if result.cp_completion_total.mean
+            else float("nan")
+        )
+        rows.append(
+            [
+                f"{ratio}:1",
+                result.h_completion_total.mean,
+                result.cp_completion_total.mean,
+                f"{speedup:.2f}x",
+            ]
+        )
+    return rows
+
+
+def _delta_rows():
+    rows = []
+    for delta in DELTAS:
+        params = SwitchParams(
+            n_ports=RADIX, eps_rate=10.0, ocs_rate=100.0, reconfig_delay=delta
+        )
+        result = run_comparison(
+            ExperimentConfig(
+                # Fixed 1x volumes and a pinned Bt: only delta varies.
+                workload=SkewedWorkload(),
+                params=params,
+                scheduler="solstice",
+                n_trials=trials(),
+                seed=BENCH_SEED,
+                filter_config=FilterConfig(volume_threshold=2.0),
+            )
+        )
+        speedup = (
+            result.h_completion_total.mean / result.cp_completion_total.mean
+            if result.cp_completion_total.mean
+            else float("nan")
+        )
+        rows.append(
+            [
+                delta,
+                result.h_completion_total.mean,
+                result.cp_completion_total.mean,
+                f"{speedup:.2f}x",
+            ]
+        )
+    return rows
+
+
+def test_sensitivity_rate_ratio(benchmark):
+    rows = benchmark.pedantic(_ratio_rows, rounds=1, iterations=1)
+    emit(
+        "sensitivity_ratio",
+        f"Sensitivity - OCS/EPS rate ratio (radix {RADIX}, skewed demand, delta=20us, Solstice)",
+        ["Co:Ce", "h total (ms)", "cp total (ms)", "cp speedup"],
+        rows,
+    )
+    # cp must help at the paper's 10:1 point.
+    paper_point = next(row for row in rows if row[0] == "10:1")
+    assert float(paper_point[3].rstrip("x")) > 1.0
+
+
+def test_sensitivity_reconfig_delay(benchmark):
+    rows = benchmark.pedantic(_delta_rows, rounds=1, iterations=1)
+    emit(
+        "sensitivity_delta",
+        f"Sensitivity - reconfiguration penalty delta (radix {RADIX}, skewed demand, Co:Ce=10, Solstice)",
+        ["delta (ms)", "h total (ms)", "cp total (ms)", "cp speedup"],
+        rows,
+    )
+    # Inverted U: the speedup rises while delta dominates per-destination
+    # reconfigurations, peaks, and collapses below 1x once delta exceeds
+    # the coflow's EPS-only drain time (skip-the-OCS regime).
+    speedups = [float(row[3].rstrip("x")) for row in rows]
+    peak = max(speedups)
+    assert peak > speedups[0] > 1.0
+    assert speedups[-1] < 1.0, "at delta >> EPS drain time the cp circuit must lose"

@@ -1,0 +1,41 @@
+"""Table 1 — h-Switch vs cp-Switch scheduling run-times using Solstice.
+
+Each paper cell is "(slow, fast)" milliseconds of scheduler wall time for
+the typical (§3.3) and intensive (§3.4) workloads.  Absolute numbers are
+machine- and implementation-dependent (both the paper's controller and
+this one are high-level Python); the paper emphasizes the h/cp **ratio**,
+which grows with radix because the reduced demand matrix decomposes into
+fewer permutations.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import emit, radices, trials
+from repro.analysis.figures import runtime_table
+
+HEADERS = ["radix", "workload", "h (slow, fast) ms", "cp (slow, fast) ms", "ratio (slow, fast)"]
+
+
+def _rows(scheduler: str):
+    rows = []
+    for label in ("typical", "intensive"):
+        for row in runtime_table(
+            scheduler, workload=label, radices=radices(), n_trials=trials()
+        ):
+            rows.append(
+                [row.n_ports, label, str(row.h_switch), str(row.cp_switch), str(row.ratio)]
+            )
+    return rows
+
+
+def test_table1_solstice_runtimes(benchmark):
+    rows = benchmark.pedantic(_rows, args=("solstice",), rounds=1, iterations=1)
+    emit(
+        "table1",
+        "Table 1 - scheduling run-times (ms), Solstice: h-Switch vs cp-Switch",
+        HEADERS,
+        rows,
+    )
+    # Sanity: every timing is positive.
+    for row in rows:
+        assert all(float(part) > 0 for part in row[2].split(", "))

@@ -1,0 +1,22 @@
+"""Table 2 — h-Switch vs cp-Switch scheduling run-times using Eclipse.
+
+Same layout as Table 1 with the Eclipse sub-scheduler; see
+bench_table1.py for the reading guide.
+"""
+
+from __future__ import annotations
+
+from benchmarks.bench_table1 import HEADERS, _rows
+from benchmarks.common import emit
+
+
+def test_table2_eclipse_runtimes(benchmark):
+    rows = benchmark.pedantic(_rows, args=("eclipse",), rounds=1, iterations=1)
+    emit(
+        "table2",
+        "Table 2 - scheduling run-times (ms), Eclipse: h-Switch vs cp-Switch",
+        HEADERS,
+        rows,
+    )
+    for row in rows:
+        assert all(float(part) > 0 for part in row[2].split(", "))

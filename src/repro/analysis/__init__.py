@@ -1,0 +1,30 @@
+"""Experiment harness: seeded trials, aggregation, reporting.
+
+Reproduces the paper's evaluation procedure (§3): generate random demand
+matrices from a model, schedule each for both h-Switch and cp-Switch with
+the same sub-scheduler, execute both online in the fluid simulator, and
+average the metrics across trials.
+"""
+
+from repro.analysis.aggregate import Aggregate, aggregate
+from repro.analysis.controller import EpochController, EpochReport
+from repro.analysis.experiment import (
+    ComparisonAggregate,
+    ExperimentConfig,
+    TrialMetrics,
+    run_comparison,
+)
+from repro.analysis.report import format_improvement, format_table
+
+__all__ = [
+    "Aggregate",
+    "ComparisonAggregate",
+    "EpochController",
+    "EpochReport",
+    "ExperimentConfig",
+    "TrialMetrics",
+    "aggregate",
+    "format_improvement",
+    "format_table",
+    "run_comparison",
+]

@@ -1,0 +1,59 @@
+"""Aggregation of per-trial metrics across random demand matrices.
+
+The paper generates 100 random demand matrices per point and reports the
+average (§3).  We additionally keep the spread, which EXPERIMENTS.md uses
+to justify the smaller default trial counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Summary statistics of one metric over trials."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count <= 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".3g"
+        return f"{self.mean:{spec}}"
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.stderr:.2g} (n={self.count})"
+
+
+def aggregate(values: "list[float] | np.ndarray") -> Aggregate:
+    """Build an :class:`Aggregate` from raw per-trial values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return Aggregate(mean=float("nan"), std=0.0, minimum=float("nan"), maximum=float("nan"), count=0)
+    return Aggregate(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+    )
+
+
+def ratio_of_means(numerator: Aggregate, denominator: Aggregate) -> float:
+    """Ratio of two aggregates' means (nan-safe)."""
+    if denominator.mean == 0 or math.isnan(denominator.mean):
+        return float("nan")
+    return numerator.mean / denominator.mean

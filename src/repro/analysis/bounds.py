@@ -1,0 +1,115 @@
+"""Analytic completion-time lower bounds.
+
+Simulation numbers mean more next to the physics: these bounds say how
+fast *any* schedule could possibly deliver a demand matrix on a given
+switch, so an experiment can report "cp-Switch is within x % of the
+fluid optimum" instead of a bare millisecond count.
+
+All bounds are per-port capacity arguments (conservative — they ignore
+reconfiguration penalties unless stated):
+
+* :func:`eps_only_bound` — the busiest port through the EPS alone.
+* :func:`hybrid_bound` — the busiest port through EPS + one OCS circuit
+  (a port can use both fabrics concurrently, but only one circuit at a
+  time), plus at least one reconfiguration if the OCS is used at all.
+* :func:`cp_bound` — the hybrid bound with composite paths: a one-to-many
+  sender may additionally push its aggregate through the composite path's
+  OCS leg, so its effective egress grows to ``Ce + 2·Co`` only if it holds
+  both a direct circuit *and* the composite path — the bound uses
+  ``Ce + Co`` per port plus the composite path as a shared extra ``Co``
+  resource across all ports of each direction.
+* :func:`reconfiguration_bound` — δ times the minimum number of distinct
+  configurations any all-OCS service of the demand needs (the maximum
+  row/column *count* of entries too big for the EPS share, a Birkhoff
+  argument).
+
+Every bound is validated in the test suite against the simulator: no
+simulated completion may undercut it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.switch.params import SwitchParams
+from repro.utils.validation import VOLUME_TOL, check_demand_matrix
+
+
+def _port_loads(demand: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    return demand.sum(axis=1), demand.sum(axis=0)
+
+
+def eps_only_bound(demand: np.ndarray, params: SwitchParams) -> float:
+    """Completion lower bound (ms) using the EPS alone."""
+    demand = check_demand_matrix(demand)
+    row_loads, col_loads = _port_loads(demand)
+    return float(max(row_loads.max(), col_loads.max()) / params.eps_rate)
+
+
+def hybrid_bound(demand: np.ndarray, params: SwitchParams) -> float:
+    """Completion lower bound (ms) for any h-Switch schedule.
+
+    Each port moves at most ``Ce + Co`` concurrently (its EPS link plus
+    one circuit); if any single entry cannot be finished by the EPS alone
+    within that bound, at least one reconfiguration's δ is also paid.
+    """
+    demand = check_demand_matrix(demand)
+    row_loads, col_loads = _port_loads(demand)
+    port_bound = max(row_loads.max(), col_loads.max()) / (
+        params.eps_rate + params.ocs_rate
+    )
+    if port_bound <= 0:
+        return 0.0
+    # Does the fluid EPS alone meet this bound?  If not, some OCS use — and
+    # with it one δ — is unavoidable.
+    needs_ocs = (
+        max(row_loads.max(), col_loads.max()) / params.eps_rate > port_bound + 1e-12
+    )
+    return float(port_bound + (params.reconfig_delay if needs_ocs else 0.0))
+
+
+def cp_bound(demand: np.ndarray, params: SwitchParams) -> float:
+    """Completion lower bound (ms) for any cp-Switch schedule.
+
+    On top of the per-port ``Ce + Co``, the (single) one-to-many composite
+    path adds at most ``Co`` of shared egress capacity across *all*
+    senders, and the many-to-one path ``Co`` across all receivers:
+
+    ``t ≥ total_row_overload / Co_extra`` arguments reduce, per port, to
+    ``load / (Ce + 2·Co)`` only when that port holds both resources for
+    the entire duration — so the safe (weaker) per-port form used here is
+    ``load / (Ce + 2·Co)``, plus one δ when the EPS alone cannot make it.
+    """
+    demand = check_demand_matrix(demand)
+    row_loads, col_loads = _port_loads(demand)
+    peak = max(row_loads.max(), col_loads.max())
+    port_bound = peak / (params.eps_rate + 2 * params.ocs_rate)
+    if port_bound <= 0:
+        return 0.0
+    needs_ocs = peak / params.eps_rate > port_bound + 1e-12
+    return float(port_bound + (params.reconfig_delay if needs_ocs else 0.0))
+
+
+def reconfiguration_bound(demand: np.ndarray, params: SwitchParams, horizon: float) -> float:
+    """Lower bound (ms) on OCS dark time if everything rides the OCS.
+
+    If the demand were served by circuits alone within ``horizon``, each
+    port's distinct partners need distinct configurations, so at least
+    ``max row/column non-zero count`` configurations — and that many δ of
+    dark time — are required.  (The h-Switch escapes via the EPS for small
+    entries; the cp-Switch via composite paths.  The bound quantifies what
+    they are escaping from.)
+    """
+    demand = check_demand_matrix(demand)
+    if horizon < 0:
+        raise ValueError(f"horizon must be non-negative, got {horizon}")
+    nonzero = demand > VOLUME_TOL
+    fanout = max(int(nonzero.sum(axis=1).max()), int(nonzero.sum(axis=0).max()))
+    return float(fanout * params.reconfig_delay)
+
+
+def efficiency(completion_time: float, bound: float) -> float:
+    """``bound / completion`` — 1.0 means the schedule achieved the bound."""
+    if completion_time <= 0:
+        return 1.0 if bound <= 0 else 0.0
+    return min(1.0, bound / completion_time)

@@ -1,0 +1,151 @@
+"""Closed-loop epoch controller — VOQ-driven online operation (§2.1).
+
+The paper's switch model builds each scheduling round's demand matrix from
+the VOQ occupancies ("The occupancy of these VOQs can be used to build the
+demand matrix").  This module closes that loop for multi-epoch operation:
+
+1. arrivals enqueue into the :class:`~repro.switch.voq.VirtualOutputQueues`;
+2. at each epoch boundary the controller snapshots the occupancy, runs the
+   configured scheduler (h-Switch or cp-Switch), and executes the schedule
+   in the fluid simulator — to completion, or bounded by the epoch length;
+3. the next epoch's arrivals accumulate (leftovers stay queued) and the
+   loop repeats.
+
+This is how a deployment would actually drive the scheduling algorithms,
+and it surfaces behaviour single-shot experiments cannot: backlog
+evolution under sustained load, and whether the switch *keeps up* — a
+bounded epoch whose arrivals exceed its service capacity grows backlog
+epoch over epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.scheduler import CpSwitchScheduler
+from repro.hybrid.base import HybridScheduler
+from repro.sim import simulate_cp, simulate_hybrid
+from repro.sim.metrics import SimulationResult
+from repro.switch.params import SwitchParams
+from repro.switch.voq import VirtualOutputQueues
+from repro.utils.validation import VOLUME_TOL, check_demand_matrix
+
+#: An arrival process: epoch index -> demand-matrix increment (Mb).
+ArrivalProcess = Callable[[int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """Outcome of one control epoch."""
+
+    epoch: int
+    offered_volume: float
+    scheduled_volume: float
+    served_volume: float
+    completion_time: float
+    n_configs: int
+    makespan: float
+    backlog_after: float
+
+    @property
+    def kept_up(self) -> bool:
+        """Whether the epoch drained everything that was queued."""
+        return self.backlog_after <= VOLUME_TOL * 1e3
+
+
+@dataclass
+class EpochController:
+    """Runs the schedule/execute loop over successive epochs.
+
+    Parameters
+    ----------
+    params:
+        Switch parameters.
+    scheduler:
+        The h-Switch scheduling algorithm.
+    use_composite_paths:
+        Schedule as a cp-Switch (Algorithm 4 wrapping ``scheduler``)
+        instead of a plain h-Switch.
+    epoch_duration:
+        Wall-clock budget (ms) per epoch.  ``None`` lets every epoch run
+        its schedule to completion (no backlog can survive an epoch);
+        a finite budget truncates execution and carries leftovers over —
+        the sustained-load regime.
+    """
+
+    params: SwitchParams
+    scheduler: HybridScheduler
+    use_composite_paths: bool = False
+    epoch_duration: "float | None" = None
+    _voqs: VirtualOutputQueues = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.epoch_duration is not None and self.epoch_duration <= 0:
+            raise ValueError(f"epoch_duration must be positive, got {self.epoch_duration}")
+        self._voqs = VirtualOutputQueues(self.params.n_ports)
+        self._cp_scheduler = (
+            CpSwitchScheduler(self.scheduler) if self.use_composite_paths else None
+        )
+
+    @property
+    def voqs(self) -> VirtualOutputQueues:
+        return self._voqs
+
+    # ------------------------------------------------------------------ #
+
+    def offer(self, arrivals: np.ndarray) -> float:
+        """Enqueue an arrival demand matrix; returns the offered volume."""
+        arrivals = check_demand_matrix(arrivals)
+        if arrivals.shape[0] != self.params.n_ports:
+            raise ValueError(
+                f"arrivals are {arrivals.shape[0]}x{arrivals.shape[1]} but the "
+                f"switch has {self.params.n_ports} ports"
+            )
+        rows, cols = np.nonzero(arrivals)
+        for i, j in zip(rows.tolist(), cols.tolist()):
+            self._voqs.enqueue(i, j, float(arrivals[i, j]))
+        return float(arrivals.sum())
+
+    def run_epoch(self, epoch: int = 0) -> "tuple[EpochReport, SimulationResult]":
+        """Snapshot the VOQs, schedule, execute (bounded by the epoch)."""
+        demand = self._voqs.occupancy.copy()
+        offered = float(demand.sum())
+        result = self._execute(demand)
+        residual = result.residual if result.residual is not None else np.zeros_like(demand)
+        served = np.maximum(demand - residual, 0.0)
+        self._voqs.serve_matrix(served)
+        self._voqs.check_conservation()
+        report = EpochReport(
+            epoch=epoch,
+            offered_volume=offered,
+            scheduled_volume=offered,
+            served_volume=float(served.sum()),
+            completion_time=result.completion_time,
+            n_configs=result.n_configs,
+            makespan=result.makespan,
+            backlog_after=self._voqs.backlog,
+        )
+        return report, result
+
+    def run(self, arrivals: ArrivalProcess, n_epochs: int) -> "list[EpochReport]":
+        """Drive ``n_epochs`` epochs of offer → schedule → execute."""
+        if n_epochs < 1:
+            raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+        reports = []
+        for epoch in range(n_epochs):
+            self.offer(arrivals(epoch))
+            report, _result = self.run_epoch(epoch)
+            reports.append(report)
+        return reports
+
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, demand: np.ndarray) -> SimulationResult:
+        if self._cp_scheduler is not None:
+            cp_schedule = self._cp_scheduler.schedule(demand, self.params)
+            return simulate_cp(demand, cp_schedule, self.params, horizon=self.epoch_duration)
+        schedule = self.scheduler.schedule(demand, self.params)
+        return simulate_hybrid(demand, schedule, self.params, horizon=self.epoch_duration)

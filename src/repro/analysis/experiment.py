@@ -1,0 +1,238 @@
+"""The h-Switch vs cp-Switch comparison experiment (§3's procedure).
+
+For each random demand matrix:
+
+1. schedule it for the **h-Switch** with the chosen sub-scheduler
+   (Solstice or Eclipse) and execute online in the fluid simulator;
+2. schedule the *same* demand for the **cp-Switch** — the same
+   sub-scheduler wrapped by Algorithm 4 — and execute online;
+3. record for both: completion time of the total demand, coflow completion
+   of the one-to-many and many-to-one subsets ("we measure the metrics of
+   the same demand for the h-Switch" — the masks make the subsets
+   identical on both switches), fraction of demand served by the OCS
+   within the scheduling window, OCS configuration count, and scheduler
+   wall time (for Tables 1–2).
+
+Trial counts: the paper averages 100 random demands per point; the default
+here is smaller so the full benchmark suite stays laptop-friendly, and is
+overridable via the ``REPRO_SEEDS`` environment variable or the
+``n_trials`` argument.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.aggregate import Aggregate, aggregate
+from repro.core.config import FilterConfig
+from repro.core.scheduler import CpSwitchScheduler
+from repro.hybrid.base import HybridScheduler, make_scheduler
+from repro.hybrid.eclipse import EclipseScheduler
+from repro.sim import simulate_cp, simulate_hybrid
+from repro.sim.metrics import SimulationResult
+from repro.switch.params import SwitchParams
+from repro.utils.rng import spawn_rngs
+from repro.workloads.base import DemandSpec, Workload
+
+#: Default number of random demand matrices per experiment point.
+DEFAULT_TRIALS: int = 5
+
+
+def default_trials() -> int:
+    """Trial count: ``REPRO_SEEDS`` env var or :data:`DEFAULT_TRIALS`."""
+    raw = os.environ.get("REPRO_SEEDS")
+    if raw is None:
+        return DEFAULT_TRIALS
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"REPRO_SEEDS must be >= 1, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class TrialMetrics:
+    """Metrics of one schedule execution on one demand matrix."""
+
+    completion_total: float
+    completion_o2m: float
+    completion_m2o: float
+    ocs_fraction: float
+    n_configs: int
+    sched_seconds: float
+    makespan: float
+    composite_volume: float = 0.0
+
+
+@dataclass(frozen=True)
+class ComparisonAggregate:
+    """Aggregated h-Switch vs cp-Switch metrics for one experiment point."""
+
+    n_ports: int
+    h_completion_total: Aggregate
+    cp_completion_total: Aggregate
+    h_completion_o2m: Aggregate
+    cp_completion_o2m: Aggregate
+    h_completion_m2o: Aggregate
+    cp_completion_m2o: Aggregate
+    h_ocs_fraction: Aggregate
+    cp_ocs_fraction: Aggregate
+    h_configs: Aggregate
+    cp_configs: Aggregate
+    h_sched_seconds: Aggregate
+    cp_sched_seconds: Aggregate
+    n_trials: int
+
+    @property
+    def completion_improvement(self) -> float:
+        """Relative total-completion-time reduction of cp over h (0..1)."""
+        if self.h_completion_total.mean == 0:
+            return 0.0
+        return 1.0 - self.cp_completion_total.mean / self.h_completion_total.mean
+
+    @property
+    def utilization_gain(self) -> float:
+        """cp OCS fraction divided by h OCS fraction."""
+        if self.h_ocs_fraction.mean == 0:
+            return float("nan")
+        return self.cp_ocs_fraction.mean / self.h_ocs_fraction.mean
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything one comparison point needs.
+
+    Parameters
+    ----------
+    workload:
+        Demand generator.
+    params:
+        Switch parameters (radix, rates, δ).
+    scheduler:
+        h-Switch sub-scheduler instance or name ("solstice" / "eclipse").
+    n_trials:
+        Random demand matrices to average over (``None`` → env default).
+    seed:
+        Root seed; per-trial generators are spawned from it.
+    window:
+        Window (ms) for the OCS-fraction metric; ``None`` uses the Eclipse
+        pairing for this OCS class (1 ms fast / 100 ms slow).
+    filter_config:
+        cp-Switch (Rt, Bt) resolution.
+    """
+
+    workload: Workload
+    params: SwitchParams
+    scheduler: "HybridScheduler | str" = "solstice"
+    n_trials: "int | None" = None
+    seed: int = 2016
+    window: "float | None" = None
+    filter_config: FilterConfig = field(default_factory=FilterConfig)
+
+    def resolved_scheduler(self) -> HybridScheduler:
+        if isinstance(self.scheduler, str):
+            return make_scheduler(self.scheduler)
+        return self.scheduler
+
+    def resolved_window(self) -> float:
+        if self.window is not None:
+            return float(self.window)
+        return EclipseScheduler().resolved_window(self.params)
+
+    def resolved_trials(self) -> int:
+        return self.n_trials if self.n_trials is not None else default_trials()
+
+
+def run_comparison(config: ExperimentConfig) -> ComparisonAggregate:
+    """Run the full h vs cp comparison for one experiment point."""
+    scheduler = config.resolved_scheduler()
+    cp_scheduler = CpSwitchScheduler(scheduler, filter_config=config.filter_config)
+    window = config.resolved_window()
+    n_trials = config.resolved_trials()
+    params = config.params
+
+    h_rows: list[TrialMetrics] = []
+    cp_rows: list[TrialMetrics] = []
+    for rng in spawn_rngs(config.seed, n_trials):
+        spec = config.workload.generate(params.n_ports, rng)
+        h_rows.append(_run_h_trial(spec, scheduler, params, window))
+        cp_rows.append(_run_cp_trial(spec, cp_scheduler, params, window))
+
+    def agg(rows: list[TrialMetrics], attr: str) -> Aggregate:
+        return aggregate([getattr(row, attr) for row in rows])
+
+    return ComparisonAggregate(
+        n_ports=params.n_ports,
+        h_completion_total=agg(h_rows, "completion_total"),
+        cp_completion_total=agg(cp_rows, "completion_total"),
+        h_completion_o2m=agg(h_rows, "completion_o2m"),
+        cp_completion_o2m=agg(cp_rows, "completion_o2m"),
+        h_completion_m2o=agg(h_rows, "completion_m2o"),
+        cp_completion_m2o=agg(cp_rows, "completion_m2o"),
+        h_ocs_fraction=agg(h_rows, "ocs_fraction"),
+        cp_ocs_fraction=agg(cp_rows, "ocs_fraction"),
+        h_configs=agg(h_rows, "n_configs"),
+        cp_configs=agg(cp_rows, "n_configs"),
+        h_sched_seconds=agg(h_rows, "sched_seconds"),
+        cp_sched_seconds=agg(cp_rows, "sched_seconds"),
+        n_trials=n_trials,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# single trials
+# ---------------------------------------------------------------------- #
+
+
+def _run_h_trial(
+    spec: DemandSpec,
+    scheduler: HybridScheduler,
+    params: SwitchParams,
+    window: float,
+) -> TrialMetrics:
+    start = time.perf_counter()
+    schedule = scheduler.schedule(spec.demand, params)
+    elapsed = time.perf_counter() - start
+    result = simulate_hybrid(spec.demand, schedule, params)
+    return _metrics(spec, result, elapsed, window)
+
+
+def _run_cp_trial(
+    spec: DemandSpec,
+    cp_scheduler: CpSwitchScheduler,
+    params: SwitchParams,
+    window: float,
+) -> TrialMetrics:
+    start = time.perf_counter()
+    cp_schedule = cp_scheduler.schedule(spec.demand, params)
+    elapsed = time.perf_counter() - start
+    result = simulate_cp(spec.demand, cp_schedule, params)
+    return _metrics(
+        spec,
+        result,
+        elapsed,
+        window,
+        composite_volume=cp_schedule.reduction.composite_volume,
+    )
+
+
+def _metrics(
+    spec: DemandSpec,
+    result: SimulationResult,
+    sched_seconds: float,
+    window: float,
+    composite_volume: float = 0.0,
+) -> TrialMetrics:
+    return TrialMetrics(
+        completion_total=result.completion_time,
+        completion_o2m=result.coflow_completion(spec.o2m_mask),
+        completion_m2o=result.coflow_completion(spec.m2o_mask),
+        ocs_fraction=result.ocs_fraction_within(window),
+        n_configs=result.n_configs,
+        sched_seconds=sched_seconds,
+        makespan=result.makespan,
+        composite_volume=composite_volume,
+    )

@@ -1,0 +1,228 @@
+"""Programmatic regeneration of the paper's figures and tables.
+
+Each function reproduces one evaluation artifact of the paper (§3) and
+returns structured data; the ``benchmarks/`` suite is a thin printing
+layer over this module, and library users can call these directly, e.g.::
+
+    from repro.analysis.figures import figure5
+    for point in figure5("fast", radices=(32, 64), n_trials=10):
+        print(point.n_ports, point.result.completion_improvement)
+
+All functions take the OCS class name (``"fast"``/``"slow"``), the radix
+sweep, the trial count, and a root seed; they fix the workload, the
+sub-scheduler, and the metric per the paper's §3 pairing (Solstice for
+completion-time figures, Eclipse for utilization figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.experiment import ComparisonAggregate, ExperimentConfig, run_comparison
+from repro.analysis.runtime import RuntimeRow, runtime_row
+from repro.switch.params import SwitchParams, fast_ocs_params, slow_ocs_params
+from repro.workloads.combined import CombinedWorkload
+from repro.workloads.skewed import SkewedWorkload
+from repro.workloads.varying import VaryingSkewWorkload
+
+#: Default radix sweep of the paper's evaluation.
+PAPER_RADICES: "tuple[int, ...]" = (32, 64, 128)
+#: Root seed used by the benchmark suite.
+DEFAULT_SEED: int = 2016
+
+
+def params_for(ocs: str, n_ports: int) -> SwitchParams:
+    """Switch parameters for an OCS class name (``"fast"`` / ``"slow"``)."""
+    if ocs == "fast":
+        return fast_ocs_params(n_ports)
+    if ocs == "slow":
+        return slow_ocs_params(n_ports)
+    raise ValueError(f"unknown OCS class {ocs!r}; expected 'fast' or 'slow'")
+
+
+@dataclass(frozen=True)
+class FigurePoint:
+    """One x-axis point of a figure: a radix (and optionally a skew count)
+    with its aggregated h-vs-cp comparison."""
+
+    n_ports: int
+    result: ComparisonAggregate
+    skewed_ports: "int | None" = None
+
+
+def _sweep(
+    workload_factory,
+    scheduler: str,
+    ocs: str,
+    radices: "tuple[int, ...]",
+    n_trials: "int | None",
+    seed: int,
+) -> "list[FigurePoint]":
+    points = []
+    for n_ports in radices:
+        params = params_for(ocs, n_ports)
+        result = run_comparison(
+            ExperimentConfig(
+                workload=workload_factory(params),
+                params=params,
+                scheduler=scheduler,
+                n_trials=n_trials,
+                seed=seed,
+            )
+        )
+        points.append(FigurePoint(n_ports=n_ports, result=result))
+    return points
+
+
+# ---------------------------------------------------------------------- #
+# figures
+# ---------------------------------------------------------------------- #
+
+
+def figure5(
+    ocs: str,
+    radices: "tuple[int, ...]" = PAPER_RADICES,
+    n_trials: "int | None" = None,
+    seed: int = DEFAULT_SEED,
+) -> "list[FigurePoint]":
+    """Figure 5 — pure skewed demand, completion time (Solstice).
+
+    Also carries the Figure 5(c) configuration counts inside each point's
+    ``result``.
+    """
+    return _sweep(
+        lambda p: SkewedWorkload.for_params(p), "solstice", ocs, radices, n_trials, seed
+    )
+
+
+def figure6(
+    ocs: str,
+    radices: "tuple[int, ...]" = PAPER_RADICES,
+    n_trials: "int | None" = None,
+    seed: int = DEFAULT_SEED,
+) -> "list[FigurePoint]":
+    """Figure 6 — pure skewed demand, OCS fraction in the window (Eclipse)."""
+    return _sweep(
+        lambda p: SkewedWorkload.for_params(p), "eclipse", ocs, radices, n_trials, seed
+    )
+
+
+def figure7(
+    ocs: str,
+    radices: "tuple[int, ...]" = PAPER_RADICES,
+    n_trials: "int | None" = None,
+    seed: int = DEFAULT_SEED,
+) -> "list[FigurePoint]":
+    """Figure 7 — typical DCN + skewed demand, completion time (Solstice)."""
+    return _sweep(
+        lambda p: CombinedWorkload.typical(p), "solstice", ocs, radices, n_trials, seed
+    )
+
+
+def figure8(
+    ocs: str,
+    radices: "tuple[int, ...]" = PAPER_RADICES,
+    n_trials: "int | None" = None,
+    seed: int = DEFAULT_SEED,
+) -> "list[FigurePoint]":
+    """Figure 8 — typical DCN + skewed demand, OCS fraction (Eclipse)."""
+    return _sweep(
+        lambda p: CombinedWorkload.typical(p), "eclipse", ocs, radices, n_trials, seed
+    )
+
+
+def figure9(
+    ocs: str,
+    radices: "tuple[int, ...]" = PAPER_RADICES,
+    n_trials: "int | None" = None,
+    seed: int = DEFAULT_SEED,
+) -> "list[FigurePoint]":
+    """Figure 9 — intensive (4×) DCN + skewed demand, completion time."""
+    return _sweep(
+        lambda p: CombinedWorkload.intensive(p), "solstice", ocs, radices, n_trials, seed
+    )
+
+
+def figure10(
+    ocs: str,
+    radices: "tuple[int, ...]" = PAPER_RADICES,
+    n_trials: "int | None" = None,
+    seed: int = DEFAULT_SEED,
+) -> "list[FigurePoint]":
+    """Figure 10 — intensive DCN + skewed demand, OCS fraction (Eclipse)."""
+    return _sweep(
+        lambda p: CombinedWorkload.intensive(p), "eclipse", ocs, radices, n_trials, seed
+    )
+
+
+def figure11(
+    ocs: str,
+    radices: "tuple[int, ...]" = PAPER_RADICES,
+    skew_counts: "tuple[int, ...]" = (1, 2, 3, 4, 5, 6),
+    n_trials: "int | None" = None,
+    seed: int = DEFAULT_SEED,
+) -> "list[FigurePoint]":
+    """Figure 11 — typical DCN + k skewed ports/direction (Solstice).
+
+    One :class:`FigurePoint` per (radix, k), with ``skewed_ports`` set.
+    """
+    points = []
+    for n_ports in radices:
+        params = params_for(ocs, n_ports)
+        for k in skew_counts:
+            result = run_comparison(
+                ExperimentConfig(
+                    workload=VaryingSkewWorkload.for_params(params, n_skewed_ports=k),
+                    params=params,
+                    scheduler="solstice",
+                    n_trials=n_trials,
+                    seed=seed,
+                )
+            )
+            points.append(FigurePoint(n_ports=n_ports, result=result, skewed_ports=k))
+    return points
+
+
+# ---------------------------------------------------------------------- #
+# tables
+# ---------------------------------------------------------------------- #
+
+
+def runtime_table(
+    scheduler: str,
+    workload: str = "typical",
+    radices: "tuple[int, ...]" = PAPER_RADICES,
+    n_trials: "int | None" = None,
+    seed: int = DEFAULT_SEED,
+) -> "list[RuntimeRow]":
+    """Tables 1–2 — h vs cp scheduler wall-times, (slow, fast) per radix.
+
+    Parameters
+    ----------
+    scheduler:
+        ``"solstice"`` (Table 1) or ``"eclipse"`` (Table 2).
+    workload:
+        ``"typical"`` (§3.3) or ``"intensive"`` (§3.4).
+    """
+    if workload == "typical":
+        factory = CombinedWorkload.typical
+    elif workload == "intensive":
+        factory = CombinedWorkload.intensive
+    else:
+        raise ValueError(f"unknown workload {workload!r}; expected 'typical' or 'intensive'")
+    rows = []
+    for n_ports in radices:
+        per_ocs = {}
+        for ocs in ("slow", "fast"):
+            params = params_for(ocs, n_ports)
+            per_ocs[ocs] = run_comparison(
+                ExperimentConfig(
+                    workload=factory(params),
+                    params=params,
+                    scheduler=scheduler,
+                    n_trials=n_trials,
+                    seed=seed,
+                )
+            )
+        rows.append(runtime_row(n_ports, per_ocs["slow"], per_ocs["fast"]))
+    return rows

@@ -1,0 +1,232 @@
+"""JSON persistence for schedules and experiment results.
+
+Experiment pipelines want to compute schedules once and re-execute or
+re-analyze them later (and to archive the numbers behind EXPERIMENTS.md).
+Permutations are stored sparsely — as circuit lists — so even radix-128
+schedules stay small.
+
+Round-trip support:
+
+* :class:`~repro.hybrid.schedule.Schedule` ↔ dict / JSON file,
+* :class:`~repro.core.scheduler.CpSchedule` → dict (sufficient to
+  re-simulate: regular circuits, grants, composite volumes, reduction
+  artifacts) and back,
+* :class:`~repro.analysis.experiment.ComparisonAggregate` → flat dict for
+  tabulation (one-way; aggregates are cheap to recompute).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.aggregate import Aggregate
+from repro.analysis.experiment import ComparisonAggregate
+from repro.core.reduction import ReducedDemand
+from repro.core.scheduler import CompositeScheduleEntry, CpSchedule
+from repro.hybrid.schedule import Schedule, ScheduleEntry
+
+_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------- #
+# sparse helpers
+# ---------------------------------------------------------------------- #
+
+
+def _sparse_from_matrix(matrix: np.ndarray) -> "list[list[float]]":
+    rows, cols = np.nonzero(matrix)
+    return [[int(i), int(j), float(matrix[i, j])] for i, j in zip(rows, cols)]
+
+
+def _matrix_from_sparse(entries, shape) -> np.ndarray:
+    matrix = np.zeros(shape, dtype=np.float64)
+    for i, j, value in entries:
+        matrix[int(i), int(j)] = float(value)
+    return matrix
+
+
+def _permutation_from_circuits(circuits, size: int) -> np.ndarray:
+    perm = np.zeros((size, size), dtype=np.int8)
+    for i, j in circuits:
+        perm[int(i), int(j)] = 1
+    return perm
+
+
+# ---------------------------------------------------------------------- #
+# Schedule
+# ---------------------------------------------------------------------- #
+
+
+def schedule_to_dict(schedule: Schedule) -> dict:
+    """Serialize an h-Switch schedule."""
+    size = schedule.entries[0].size if schedule.entries else 0
+    return {
+        "format": _FORMAT_VERSION,
+        "type": "schedule",
+        "size": size,
+        "reconfig_delay": schedule.reconfig_delay,
+        "entries": [
+            {"duration": entry.duration, "circuits": entry.circuits}
+            for entry in schedule.entries
+        ],
+    }
+
+
+def schedule_from_dict(payload: dict) -> Schedule:
+    """Inverse of :func:`schedule_to_dict`."""
+    _check_payload(payload, "schedule")
+    size = int(payload["size"])
+    entries = tuple(
+        ScheduleEntry(
+            permutation=_permutation_from_circuits(item["circuits"], size),
+            duration=float(item["duration"]),
+        )
+        for item in payload["entries"]
+    )
+    return Schedule(entries=entries, reconfig_delay=float(payload["reconfig_delay"]))
+
+
+# ---------------------------------------------------------------------- #
+# CpSchedule
+# ---------------------------------------------------------------------- #
+
+
+def cp_schedule_to_dict(schedule: CpSchedule) -> dict:
+    """Serialize a cp-Switch schedule, including its reduction artifacts."""
+    n = schedule.reduction.n_ports
+    return {
+        "format": _FORMAT_VERSION,
+        "type": "cp-schedule",
+        "n_ports": n,
+        "reconfig_delay": schedule.reconfig_delay,
+        "entries": [
+            {
+                "duration": entry.duration,
+                "circuits": _circuits(entry.regular),
+                "o2m_port": entry.o2m_port,
+                "m2o_port": entry.m2o_port,
+                "composite_served": _sparse_from_matrix(entry.composite_served),
+            }
+            for entry in schedule.entries
+        ],
+        "reduction": {
+            "reduced": _sparse_from_matrix(schedule.reduction.reduced),
+            "filtered": _sparse_from_matrix(schedule.reduction.filtered),
+            "o2m_assignment": _sparse_from_matrix(
+                schedule.reduction.o2m_assignment.astype(np.float64)
+            ),
+            "m2o_assignment": _sparse_from_matrix(
+                schedule.reduction.m2o_assignment.astype(np.float64)
+            ),
+            "volume_threshold": schedule.reduction.volume_threshold,
+            "fanout_threshold": schedule.reduction.fanout_threshold,
+        },
+        "filtered_residual": _sparse_from_matrix(schedule.filtered_residual),
+        "reduced_schedule": schedule_to_dict(schedule.reduced_schedule),
+    }
+
+
+def cp_schedule_from_dict(payload: dict) -> CpSchedule:
+    """Inverse of :func:`cp_schedule_to_dict`."""
+    _check_payload(payload, "cp-schedule")
+    n = int(payload["n_ports"])
+    red = payload["reduction"]
+    reduction = ReducedDemand(
+        reduced=_matrix_from_sparse(red["reduced"], (n + 1, n + 1)),
+        filtered=_matrix_from_sparse(red["filtered"], (n, n)),
+        o2m_assignment=_matrix_from_sparse(red["o2m_assignment"], (n, n)).astype(bool),
+        m2o_assignment=_matrix_from_sparse(red["m2o_assignment"], (n, n)).astype(bool),
+        volume_threshold=float(red["volume_threshold"]),
+        fanout_threshold=int(red["fanout_threshold"]),
+    )
+    entries = tuple(
+        CompositeScheduleEntry(
+            regular=_permutation_from_circuits(item["circuits"], n),
+            duration=float(item["duration"]),
+            composite_served=_matrix_from_sparse(item["composite_served"], (n, n)),
+            o2m_port=item["o2m_port"],
+            m2o_port=item["m2o_port"],
+        )
+        for item in payload["entries"]
+    )
+    return CpSchedule(
+        entries=entries,
+        reconfig_delay=float(payload["reconfig_delay"]),
+        reduction=reduction,
+        filtered_residual=_matrix_from_sparse(payload["filtered_residual"], (n, n)),
+        reduced_schedule=schedule_from_dict(payload["reduced_schedule"]),
+    )
+
+
+def _circuits(permutation: np.ndarray) -> "list[tuple[int, int]]":
+    rows, cols = np.nonzero(permutation)
+    return list(zip(rows.tolist(), cols.tolist()))
+
+
+# ---------------------------------------------------------------------- #
+# results
+# ---------------------------------------------------------------------- #
+
+
+def comparison_to_dict(result: ComparisonAggregate) -> dict:
+    """Flatten a comparison aggregate for tabulation/archival (one-way)."""
+    def agg(value: Aggregate) -> dict:
+        return {
+            "mean": value.mean,
+            "std": value.std,
+            "min": value.minimum,
+            "max": value.maximum,
+            "count": value.count,
+        }
+
+    return {
+        "format": _FORMAT_VERSION,
+        "type": "comparison",
+        "n_ports": result.n_ports,
+        "n_trials": result.n_trials,
+        "h": {
+            "completion_total": agg(result.h_completion_total),
+            "completion_o2m": agg(result.h_completion_o2m),
+            "completion_m2o": agg(result.h_completion_m2o),
+            "ocs_fraction": agg(result.h_ocs_fraction),
+            "configs": agg(result.h_configs),
+            "sched_seconds": agg(result.h_sched_seconds),
+        },
+        "cp": {
+            "completion_total": agg(result.cp_completion_total),
+            "completion_o2m": agg(result.cp_completion_o2m),
+            "completion_m2o": agg(result.cp_completion_m2o),
+            "ocs_fraction": agg(result.cp_ocs_fraction),
+            "configs": agg(result.cp_configs),
+            "sched_seconds": agg(result.cp_sched_seconds),
+        },
+    }
+
+
+# ---------------------------------------------------------------------- #
+# files
+# ---------------------------------------------------------------------- #
+
+
+def save_json(payload: dict, path: "str | Path") -> Path:
+    """Write a serialized object to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_json(path: "str | Path") -> dict:
+    """Read a serialized object back."""
+    return json.loads(Path(path).read_text())
+
+
+def _check_payload(payload: dict, expected_type: str) -> None:
+    if payload.get("type") != expected_type:
+        raise ValueError(
+            f"payload type {payload.get('type')!r} != expected {expected_type!r}"
+        )
+    if payload.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {payload.get('format')!r}")

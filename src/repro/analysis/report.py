@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints each figure/table as an aligned text table
+whose rows mirror the paper's series, so a run's output can be compared
+against the paper side by side (EXPERIMENTS.md records both).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an aligned text table.
+
+    Numbers are formatted with 4 significant digits; everything else via
+    ``str``.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells but table has {len(headers)} columns")
+        for k, value in enumerate(row):
+            widths[k] = max(widths[k], len(value))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(value.rjust(widths[k]) for k, value in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def format_improvement(h_value: float, cp_value: float) -> str:
+    """'cp is X% better/worse' style annotation for completion times."""
+    if h_value <= 0:
+        return "n/a"
+    change = 1.0 - cp_value / h_value
+    direction = "lower" if change >= 0 else "higher"
+    return f"cp {abs(change) * 100:.0f}% {direction}"
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """'X.XXx' ratio annotation for utilization and runtime comparisons."""
+    if denominator == 0:
+        return "n/a"
+    return f"{numerator / denominator:.2f}x"

@@ -1,0 +1,144 @@
+"""Scheduling under imperfect demand knowledge.
+
+The paper (like Solstice and Eclipse) assumes the scheduler sees the exact
+demand matrix — VOQ occupancies at the scheduling instant (§2.1).  A real
+controller works from an *estimate*: measurements are noisy, collection is
+stale by at least a control-loop delay, and small flows may be missed
+entirely.  This module quantifies how the h-Switch and cp-Switch schedules
+degrade when computed from a perturbed estimate but executed against the
+true demand.
+
+Perturbation model (:func:`perturb_demand`):
+
+* ``noise`` — per-entry multiplicative error, uniform in [1−noise, 1+noise];
+* ``staleness`` — fraction of every entry's volume that arrived after the
+  snapshot (the scheduler underestimates uniformly);
+* ``miss_rate`` — fraction of non-zero entries invisible to the estimator.
+
+Execution (:func:`simulate_with_estimate`): the schedule computed from the
+estimate runs against the true demand.  For the cp-Switch, the composite
+paths serve whatever is *actually* queued on the filtered entries (at most
+the true volume), and true demand the scheduler never saw stays on the
+regular paths — matching what the hardware would do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scheduler import CpSchedule, CpSwitchScheduler
+from repro.hybrid.base import HybridScheduler
+from repro.hybrid.schedule import Schedule
+from repro.sim.cp_sim import _run as _run_cp
+from repro.sim.hybrid_sim import simulate_hybrid
+from repro.sim.metrics import SimulationResult
+from repro.switch.params import SwitchParams
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import VOLUME_TOL, check_demand_matrix, check_nonnegative
+
+
+def perturb_demand(
+    demand: np.ndarray,
+    rng=None,
+    *,
+    noise: float = 0.0,
+    staleness: float = 0.0,
+    miss_rate: float = 0.0,
+) -> np.ndarray:
+    """The estimator's view of ``demand``.
+
+    Parameters
+    ----------
+    demand:
+        True demand matrix (Mb).
+    noise:
+        Relative per-entry measurement error amplitude (0 = exact).
+    staleness:
+        Fraction of each entry's volume the snapshot has not seen yet
+        (0 = fresh, 0.3 = 30 % of the traffic arrived after the snapshot).
+    miss_rate:
+        Probability that a non-zero entry is absent from the estimate.
+    """
+    demand = check_demand_matrix(demand)
+    check_nonnegative("noise", noise)
+    if not (0.0 <= staleness < 1.0):
+        raise ValueError(f"staleness must be in [0, 1), got {staleness}")
+    if not (0.0 <= miss_rate <= 1.0):
+        raise ValueError(f"miss_rate must be in [0, 1], got {miss_rate}")
+    rng = ensure_rng(rng)
+    estimate = demand * (1.0 - staleness)
+    if noise > 0:
+        factors = rng.uniform(1.0 - noise, 1.0 + noise, size=demand.shape)
+        estimate = estimate * factors
+    if miss_rate > 0:
+        visible = rng.random(demand.shape) >= miss_rate
+        estimate = estimate * visible
+    np.clip(estimate, 0.0, None, out=estimate)
+    return estimate
+
+
+def simulate_with_estimate(
+    true_demand: np.ndarray,
+    schedule: "Schedule | CpSchedule",
+    params: SwitchParams,
+) -> SimulationResult:
+    """Execute an estimate-derived schedule against the true demand.
+
+    h-Switch schedules execute directly (circuits serve whatever is truly
+    queued).  cp-Switch schedules park ``min(filtered_estimate, true)`` on
+    the composite residual; everything else — including demand the
+    estimator missed — stays on the regular paths.
+    """
+    true_demand = check_demand_matrix(true_demand)
+    if isinstance(schedule, CpSchedule):
+        filtered = np.minimum(schedule.reduction.filtered, true_demand)
+
+        def composites_for(entry):
+            from repro.sim.engine import CompositeService
+
+            services = []
+            if entry.o2m_port is not None:
+                services.append(CompositeService(kind="o2m", port=entry.o2m_port))
+            if entry.m2o_port is not None:
+                services.append(CompositeService(kind="m2o", port=entry.m2o_port))
+            return services
+
+        return _run_cp(
+            true_demand,
+            schedule.entries,
+            filtered,
+            composites_for,
+            lambda entry: entry.regular,
+            params,
+            None,
+            n_configs=schedule.n_configs,
+            makespan=schedule.makespan,
+        )
+    return simulate_hybrid(true_demand, schedule, params)
+
+
+def robustness_trial(
+    true_demand: np.ndarray,
+    scheduler: HybridScheduler,
+    params: SwitchParams,
+    rng=None,
+    *,
+    noise: float = 0.0,
+    staleness: float = 0.0,
+    miss_rate: float = 0.0,
+) -> "tuple[SimulationResult, SimulationResult]":
+    """One (h result, cp result) pair under the given estimation errors."""
+    rng = ensure_rng(rng)
+    estimate = perturb_demand(
+        true_demand, rng, noise=noise, staleness=staleness, miss_rate=miss_rate
+    )
+    if estimate.max(initial=0.0) <= VOLUME_TOL:
+        # A fully blind estimator schedules nothing; everything rides EPS.
+        h_schedule = Schedule(entries=(), reconfig_delay=params.reconfig_delay)
+        h_result = simulate_hybrid(true_demand, h_schedule, params)
+        return h_result, h_result
+    h_schedule = scheduler.schedule(estimate, params)
+    h_result = simulate_with_estimate(true_demand, h_schedule, params)
+    cp_schedule = CpSwitchScheduler(scheduler).schedule(estimate, params)
+    cp_result = simulate_with_estimate(true_demand, cp_schedule, params)
+    return h_result, cp_result

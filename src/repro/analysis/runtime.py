@@ -1,0 +1,74 @@
+"""Scheduler run-time comparison — Tables 1 and 2 of the paper (§4).
+
+The paper reports, per radix and per workload (typical §3.3 / intensive
+§3.4), the wall time of the h-Switch scheduling algorithm vs the full
+cp-Switch pipeline (reduction + h-Switch sub-routine + interpretation), as
+a ``(slow, fast)`` OCS pair, and emphasizes the **ratio** — absolute times
+are implementation- and machine-dependent (both the paper's and ours are
+"high-level Python implementations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.aggregate import Aggregate
+from repro.analysis.experiment import ComparisonAggregate
+
+
+@dataclass(frozen=True)
+class RuntimeCell:
+    """One paper-table cell: (slow OCS, fast OCS) millisecond pair."""
+
+    slow_ms: float
+    fast_ms: float
+
+    def __str__(self) -> str:
+        return f"{self.slow_ms:.1f}, {self.fast_ms:.1f}"
+
+
+@dataclass(frozen=True)
+class RuntimeRow:
+    """One radix row of a runtime table."""
+
+    n_ports: int
+    h_switch: RuntimeCell
+    cp_switch: RuntimeCell
+
+    @property
+    def ratio(self) -> RuntimeCell:
+        """h-Switch time divided by cp-Switch time, per OCS class."""
+        return RuntimeCell(
+            slow_ms=_safe_ratio(self.h_switch.slow_ms, self.cp_switch.slow_ms),
+            fast_ms=_safe_ratio(self.h_switch.fast_ms, self.cp_switch.fast_ms),
+        )
+
+
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator > 0 else float("nan")
+
+
+def _ms(agg: Aggregate) -> float:
+    """Seconds aggregate → milliseconds mean."""
+    return agg.mean * 1e3
+
+
+def runtime_row(
+    n_ports: int,
+    slow_result: ComparisonAggregate,
+    fast_result: ComparisonAggregate,
+) -> RuntimeRow:
+    """Assemble one table row from the slow- and fast-OCS experiment runs."""
+    if slow_result.n_ports != n_ports or fast_result.n_ports != n_ports:
+        raise ValueError("result radix does not match the requested row radix")
+    return RuntimeRow(
+        n_ports=n_ports,
+        h_switch=RuntimeCell(
+            slow_ms=_ms(slow_result.h_sched_seconds),
+            fast_ms=_ms(fast_result.h_sched_seconds),
+        ),
+        cp_switch=RuntimeCell(
+            slow_ms=_ms(slow_result.cp_sched_seconds),
+            fast_ms=_ms(fast_result.cp_sched_seconds),
+        ),
+    )

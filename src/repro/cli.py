@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library a no-code surface for the common workflows:
+
+* ``compare``  — run the h-Switch vs cp-Switch comparison on one of the
+  paper's workloads and print the aggregated metrics;
+* ``figure``   — regenerate one of the paper's figures (radix sweep);
+* ``schedule`` — schedule a demand matrix from a ``.npy``/``.csv`` file
+  and print the resulting configurations;
+* ``workload`` — sample a demand matrix from one of the paper's models
+  and write it to a file (for feeding external tools or ``schedule``).
+
+Examples
+--------
+::
+
+    python -m repro compare --workload skewed --scheduler solstice \
+        --ocs fast --radix 64 --trials 5
+    python -m repro figure fig5 --ocs fast --radices 32,64 --trials 3
+    python -m repro workload --workload typical --radix 32 --out demand.npy
+    python -m repro schedule demand.npy --switch cp --scheduler eclipse
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.experiment import ExperimentConfig, run_comparison
+from repro.analysis.report import format_table
+from repro.core.scheduler import CpSwitchScheduler
+from repro.hybrid.base import make_scheduler
+from repro.sim import simulate_cp, simulate_hybrid
+from repro.switch.params import SwitchParams, fast_ocs_params, slow_ocs_params
+from repro.workloads import (
+    CombinedWorkload,
+    SkewedWorkload,
+    TypicalBackgroundWorkload,
+    VaryingSkewWorkload,
+)
+
+WORKLOADS = ("skewed", "background", "typical", "intensive", "varying")
+
+
+def _params(args) -> SwitchParams:
+    factory = fast_ocs_params if args.ocs == "fast" else slow_ocs_params
+    return factory(args.radix)
+
+
+def _workload(name: str, params: SwitchParams, skewed_ports: int):
+    if name == "skewed":
+        return SkewedWorkload.for_params(params)
+    if name == "background":
+        return TypicalBackgroundWorkload.for_params(params)
+    if name == "typical":
+        return CombinedWorkload.typical(params)
+    if name == "intensive":
+        return CombinedWorkload.intensive(params)
+    if name == "varying":
+        return VaryingSkewWorkload.for_params(params, n_skewed_ports=skewed_ports)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def _load_demand(path: Path) -> np.ndarray:
+    if path.suffix == ".npy":
+        return np.load(path)
+    if path.suffix == ".csv":
+        return np.loadtxt(path, delimiter=",")
+    raise SystemExit(f"unsupported demand file type: {path} (use .npy or .csv)")
+
+
+# ---------------------------------------------------------------------- #
+# commands
+# ---------------------------------------------------------------------- #
+
+
+def cmd_compare(args) -> int:
+    params = _params(args)
+    config = ExperimentConfig(
+        workload=_workload(args.workload, params, args.skewed_ports),
+        params=params,
+        scheduler=args.scheduler,
+        n_trials=args.trials,
+        seed=args.seed,
+    )
+    result = run_comparison(config)
+    rows = [
+        ["completion total (ms)", result.h_completion_total.mean, result.cp_completion_total.mean],
+        ["completion o2m (ms)", result.h_completion_o2m.mean, result.cp_completion_o2m.mean],
+        ["completion m2o (ms)", result.h_completion_m2o.mean, result.cp_completion_m2o.mean],
+        ["OCS fraction in window", result.h_ocs_fraction.mean, result.cp_ocs_fraction.mean],
+        ["OCS configurations", result.h_configs.mean, result.cp_configs.mean],
+        ["scheduler time (ms)", result.h_sched_seconds.mean * 1e3, result.cp_sched_seconds.mean * 1e3],
+    ]
+    title = (
+        f"{args.workload} workload, radix {args.radix}, {args.ocs} OCS, "
+        f"{args.scheduler}, {result.n_trials} trials"
+    )
+    print(format_table(["metric", "h-Switch", "cp-Switch"], rows, title=title))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.analysis import figures
+
+    generator = {
+        "fig5": figures.figure5,
+        "fig6": figures.figure6,
+        "fig7": figures.figure7,
+        "fig8": figures.figure8,
+        "fig9": figures.figure9,
+        "fig10": figures.figure10,
+        "fig11": figures.figure11,
+    }[args.name]
+    radices = tuple(int(part) for part in args.radices.split(","))
+    points = generator(args.ocs, radices=radices, n_trials=args.trials, seed=args.seed)
+    utilization = args.name in ("fig6", "fig8", "fig10")
+    rows = []
+    for point in points:
+        res = point.result
+        prefix = [point.n_ports] + ([point.skewed_ports] if point.skewed_ports is not None else [])
+        if utilization:
+            rows.append(prefix + [res.h_ocs_fraction.mean, res.cp_ocs_fraction.mean,
+                                  res.h_configs.mean, res.cp_configs.mean])
+        else:
+            rows.append(prefix + [res.h_completion_total.mean, res.cp_completion_total.mean,
+                                  res.h_configs.mean, res.cp_configs.mean])
+    headers = ["radix"] + (["k"] if args.name == "fig11" else [])
+    headers += (
+        ["h OCS fraction", "cp OCS fraction"] if utilization else ["h total (ms)", "cp total (ms)"]
+    )
+    headers += ["h configs", "cp configs"]
+    print(
+        format_table(
+            headers, rows, title=f"{args.name} ({args.ocs} OCS, {args.trials} trials)"
+        )
+    )
+    return 0
+
+
+def cmd_workload(args) -> int:
+    params = _params(args)
+    workload = _workload(args.workload, params, args.skewed_ports)
+    spec = workload.generate(args.radix, np.random.default_rng(args.seed))
+    out = Path(args.out)
+    if out.suffix == ".npy":
+        np.save(out, spec.demand)
+    elif out.suffix == ".csv":
+        np.savetxt(out, spec.demand, delimiter=",")
+    else:
+        raise SystemExit(f"unsupported output type: {out} (use .npy or .csv)")
+    print(
+        f"wrote {args.radix}x{args.radix} {args.workload} demand "
+        f"({spec.total_volume:.1f} Mb, {int((spec.demand > 0).sum())} entries) to {out}"
+    )
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    demand = _load_demand(Path(args.demand))
+    params = _params(argparse.Namespace(ocs=args.ocs, radix=demand.shape[0]))
+    inner = make_scheduler(args.scheduler)
+    if args.switch == "h":
+        schedule = inner.schedule(demand, params)
+        result = simulate_hybrid(demand, schedule, params)
+        configs = [
+            (entry.circuits, entry.duration) for entry in schedule
+        ]
+    else:
+        cp_schedule = CpSwitchScheduler(inner).schedule(demand, params)
+        result = simulate_cp(demand, cp_schedule, params)
+        configs = []
+        for entry in cp_schedule:
+            rows, cols = np.nonzero(entry.regular)
+            circuits = list(zip(rows.tolist(), cols.tolist()))
+            grants = []
+            if entry.o2m_port is not None:
+                grants.append(f"o2m@{entry.o2m_port}")
+            if entry.m2o_port is not None:
+                grants.append(f"m2o@{entry.m2o_port}")
+            configs.append((circuits + grants, entry.duration))
+
+    print(f"{args.switch}-Switch / {args.scheduler} on {demand.shape[0]} ports:")
+    for index, (circuits, duration) in enumerate(configs):
+        print(f"  config {index}: {duration:.4f} ms, {circuits}")
+    print(
+        f"completion {result.completion_time:.3f} ms over {result.n_configs} configurations "
+        f"(makespan {result.makespan:.3f} ms)"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# parser
+# ---------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Composite-path switching (CoNEXT'16) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--ocs", choices=("fast", "slow"), default="fast")
+        p.add_argument("--radix", type=int, default=32)
+        p.add_argument("--seed", type=int, default=2016)
+
+    compare = sub.add_parser("compare", help="h-Switch vs cp-Switch on a paper workload")
+    common(compare)
+    compare.add_argument("--workload", choices=WORKLOADS, default="skewed")
+    compare.add_argument("--scheduler", choices=("solstice", "eclipse", "tdm"), default="solstice")
+    compare.add_argument("--trials", type=int, default=3)
+    compare.add_argument("--skewed-ports", type=int, default=1)
+    compare.set_defaults(func=cmd_compare)
+
+    figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument(
+        "name",
+        choices=("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"),
+    )
+    figure.add_argument("--ocs", choices=("fast", "slow"), default="fast")
+    figure.add_argument("--radices", default="32,64,128", help="comma-separated radix sweep")
+    figure.add_argument("--trials", type=int, default=2)
+    figure.add_argument("--seed", type=int, default=2016)
+    figure.set_defaults(func=cmd_figure)
+
+    workload = sub.add_parser("workload", help="sample a demand matrix to a file")
+    common(workload)
+    workload.add_argument("--workload", choices=WORKLOADS, default="typical")
+    workload.add_argument("--skewed-ports", type=int, default=1)
+    workload.add_argument("--out", required=True, help="output path (.npy or .csv)")
+    workload.set_defaults(func=cmd_workload)
+
+    schedule = sub.add_parser("schedule", help="schedule a demand matrix from a file")
+    schedule.add_argument("demand", help="demand matrix file (.npy or .csv)")
+    schedule.add_argument("--ocs", choices=("fast", "slow"), default="fast")
+    schedule.add_argument("--switch", choices=("h", "cp"), default="cp")
+    schedule.add_argument("--scheduler", choices=("solstice", "eclipse", "tdm"), default="solstice")
+    schedule.set_defaults(func=cmd_schedule)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The paper's primary contribution: composite-path switch scheduling.
+
+* :mod:`repro.core.config` — filtering-threshold configuration (Rt, Bt and
+  the α/β tuning heuristic of §4).
+* :mod:`repro.core.reduction` — Algorithm 1, ``cp-SwitchDemandReduction``.
+* :mod:`repro.core.cpsched` — Algorithm 2, ``CPSched``.
+* :mod:`repro.core.divide` — Algorithm 3, ``DivideByType``.
+* :mod:`repro.core.scheduler` — Algorithm 4, ``CPSwitchSched``.
+* :mod:`repro.core.multipath` — the §4 extension to k composite paths per
+  direction.
+"""
+
+from repro.core.config import FilterConfig
+from repro.core.cpsched import cpsched, cpsched_with_served
+from repro.core.divide import DividedPermutation, divide_by_type
+from repro.core.reduction import ReducedDemand, cp_switch_demand_reduction
+from repro.core.scheduler import CompositeScheduleEntry, CpSchedule, CpSwitchScheduler
+
+__all__ = [
+    "CompositeScheduleEntry",
+    "CpSchedule",
+    "CpSwitchScheduler",
+    "DividedPermutation",
+    "FilterConfig",
+    "ReducedDemand",
+    "cp_switch_demand_reduction",
+    "cpsched",
+    "cpsched_with_served",
+    "divide_by_type",
+]

@@ -1,0 +1,85 @@
+"""Algorithm 3 — ``DivideByType`` (§2.3).
+
+An h-Switch scheduler fed the reduced (n+1)×(n+1) demand returns
+permutation matrices over n+1 "ports".  DivideByType decomposes each into:
+
+* ``regular`` — the n×n sub-permutation of ordinary OCS circuits,
+* the sender (if any) granted the **one-to-many** composite path — the row
+  ``i`` with ``P[i, n] == 1``,
+* the receiver (if any) granted the **many-to-one** composite path — the
+  column ``j`` with ``P[n, j] == 1``.
+
+Note on fidelity: the paper's listing returns the permutation *rows*
+(``Srow = P[row, :]``) but Algorithm 4 then treats them as demand vectors
+(``Df[r, :] = CPSched(Sr, ...)``).  The only consistent reading — and the
+one matching the CPSched worked example (Figure 3) — is that CPSched
+consumes ``Df`` rows/columns, so this function returns the composite *port
+indices* and the caller fetches the demand vectors from ``Df``
+(see DESIGN.md §1).
+
+A corner case the reduction can produce: ``P[n, n] == 1`` (the two
+composite "ports" matched to each other) carries no demand — ``DI[n, n]``
+is always 0 — and is ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_permutation
+
+
+@dataclass(frozen=True)
+class DividedPermutation:
+    """Decomposition of one reduced-space permutation matrix.
+
+    Attributes
+    ----------
+    regular:
+        n×n partial permutation of regular OCS-OCS circuits.
+    o2m_port:
+        Sender index granted the one-to-many composite path, or ``None``.
+    m2o_port:
+        Receiver index granted the many-to-one composite path, or ``None``.
+    """
+
+    regular: np.ndarray
+    o2m_port: "int | None"
+    m2o_port: "int | None"
+
+    @property
+    def has_composite(self) -> bool:
+        """Whether this configuration creates any composite path."""
+        return self.o2m_port is not None or self.m2o_port is not None
+
+
+def divide_by_type(permutation: np.ndarray) -> DividedPermutation:
+    """Algorithm 3: split a reduced-space permutation into path types.
+
+    Parameters
+    ----------
+    permutation:
+        (n+1)×(n+1) 0/1 matrix with at most one 1 per row/column, as
+        produced by an h-Switch scheduler on a reduced demand.
+
+    Returns
+    -------
+    DividedPermutation
+    """
+    perm = check_permutation(permutation, partial=True)
+    m = perm.shape[0]
+    if m < 2:
+        raise ValueError(f"reduced permutation must be at least 2x2, got {m}x{m}")
+    n = m - 1
+
+    regular = perm[:n, :n].copy()
+
+    o2m_rows = np.nonzero(perm[:n, n])[0]
+    o2m_port = int(o2m_rows[0]) if o2m_rows.size else None
+
+    m2o_cols = np.nonzero(perm[n, :n])[0]
+    m2o_port = int(m2o_cols[0]) if m2o_cols.size else None
+
+    return DividedPermutation(regular=regular, o2m_port=o2m_port, m2o_port=m2o_port)

@@ -1,0 +1,181 @@
+"""Algorithm 1 — ``cp-SwitchDemandReduction`` (§2.2).
+
+Reduces the n×n demand matrix ``D`` into an (n+1)×(n+1) matrix ``DI`` that
+any h-Switch scheduler can consume.  Column ``n`` (0-based) of ``DI``
+represents the **one-to-many** composite path: ``DI[i, n]`` is the aggregate
+volume sender ``i`` would push through OCS → composite link → EPS.  Row
+``n`` represents the **many-to-one** composite path symmetrically.
+
+Filtering (paper intuition, §2.2):
+
+* entries larger than ``Bt`` are kept out of composite paths — a large
+  entry amortizes its own circuit's reconfiguration cost;
+* only rows/columns with at least ``Rt`` surviving non-zero entries qualify
+  — aggregation pays off only for genuine one-to-many / many-to-one
+  fan-out;
+* an entry whose row *and* column both qualify is assigned greedily to the
+  currently lighter composite path (load balancing), scanning entries in
+  row-major order (the paper says "arbitrary order"; row-major keeps runs
+  deterministic).
+
+The function returns both ``DI`` and the *filtered* matrix ``Df`` holding
+exactly the entries assigned to composite paths, so that
+``DI[:n, :n] == D - Df`` and total volume is conserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import FilterConfig
+from repro.switch.params import SwitchParams
+from repro.utils.validation import VOLUME_TOL, check_demand_matrix, check_nonnegative
+
+#: Index offset of the composite column/row: for an n-port switch the
+#: one-to-many column and many-to-one row both sit at index n.
+COMPOSITE_INDEX_OFFSET: int = 0
+
+
+@dataclass(frozen=True)
+class ReducedDemand:
+    """Output of Algorithm 1.
+
+    Attributes
+    ----------
+    reduced:
+        ``DI`` — the (n+1)×(n+1) reduced demand.  ``reduced[:n, :n]`` is the
+        demand left on regular EPS-EPS / OCS-OCS paths; ``reduced[:n, n]``
+        aggregates per-sender one-to-many composite demand; ``reduced[n, :n]``
+        aggregates per-receiver many-to-one composite demand.
+    filtered:
+        ``Df`` — the n×n matrix of entries assigned to composite paths.
+    o2m_assignment:
+        Boolean n×n mask: entry assigned to its sender's one-to-many path.
+    m2o_assignment:
+        Boolean n×n mask: entry assigned to its receiver's many-to-one path.
+    volume_threshold, fanout_threshold:
+        The resolved ``Bt`` (Mb) and ``Rt`` (count) actually applied.
+    """
+
+    reduced: np.ndarray
+    filtered: np.ndarray
+    o2m_assignment: np.ndarray
+    m2o_assignment: np.ndarray
+    volume_threshold: float
+    fanout_threshold: int
+
+    @property
+    def n_ports(self) -> int:
+        return self.filtered.shape[0]
+
+    @property
+    def composite_volume(self) -> float:
+        """Total volume routed via composite paths (Mb)."""
+        return float(self.filtered.sum())
+
+    @property
+    def o2m_loads(self) -> np.ndarray:
+        """Per-sender one-to-many composite aggregate, ``DI[:n, n]``."""
+        return self.reduced[: self.n_ports, self.n_ports]
+
+    @property
+    def m2o_loads(self) -> np.ndarray:
+        """Per-receiver many-to-one composite aggregate, ``DI[n, :n]``."""
+        return self.reduced[self.n_ports, : self.n_ports]
+
+
+def cp_switch_demand_reduction(
+    demand: np.ndarray,
+    fanout_threshold: int,
+    volume_threshold: float,
+) -> ReducedDemand:
+    """Algorithm 1: build the reduced demand ``DI`` and filtered demand ``Df``.
+
+    Parameters
+    ----------
+    demand:
+        n×n demand matrix ``D`` (Mb).
+    fanout_threshold:
+        ``Rt`` — minimum number of small entries a row/column needs to
+        qualify for a composite path.
+    volume_threshold:
+        ``Bt`` — entries strictly larger than this never ride a composite
+        path.
+
+    Returns
+    -------
+    ReducedDemand
+        With volume conserved: ``DI.sum() == D.sum()`` and
+        ``DI[:n, :n] == D - Df``.
+    """
+    demand = check_demand_matrix(demand)
+    if fanout_threshold < 1:
+        raise ValueError(f"fanout_threshold (Rt) must be >= 1, got {fanout_threshold}")
+    check_nonnegative("volume_threshold", volume_threshold)
+    n = demand.shape[0]
+
+    # Line 3: Dlow = ZerosAboveBt(D) — drop entries too big for composites.
+    low = demand.copy()
+    low[low > volume_threshold] = 0.0
+
+    # Lines 4-5: qualifying rows/columns by surviving-entry count.
+    nonzero = low > VOLUME_TOL
+    row_qualifies = nonzero.sum(axis=1) >= fanout_threshold
+    col_qualifies = nonzero.sum(axis=0) >= fanout_threshold
+
+    reduced = np.zeros((n + 1, n + 1), dtype=np.float64)
+    filtered = np.zeros_like(demand)
+    o2m_mask = np.zeros((n, n), dtype=bool)
+    m2o_mask = np.zeros((n, n), dtype=bool)
+    o2m_loads = reduced[:n, n]  # views: updates write through to `reduced`
+    m2o_loads = reduced[n, :n]
+
+    # Lines 6-8: row qualifies, column does not -> one-to-many path of i.
+    only_rows = nonzero & row_qualifies[:, None] & ~col_qualifies[None, :]
+    filtered[only_rows] = demand[only_rows]
+    np.add.at(o2m_loads, np.nonzero(only_rows)[0], demand[only_rows])
+    o2m_mask |= only_rows
+
+    # Lines 9-11: column qualifies, row does not -> many-to-one path of j.
+    only_cols = nonzero & ~row_qualifies[:, None] & col_qualifies[None, :]
+    filtered[only_cols] = demand[only_cols]
+    np.add.at(m2o_loads, np.nonzero(only_cols)[1], demand[only_cols])
+    m2o_mask |= only_cols
+
+    # Lines 12-15: both qualify -> greedily balance onto the lighter path.
+    both = nonzero & row_qualifies[:, None] & col_qualifies[None, :]
+    for i, j in zip(*np.nonzero(both)):
+        value = demand[i, j]
+        filtered[i, j] = value
+        if o2m_loads[i] <= m2o_loads[j]:
+            o2m_loads[i] += value
+            o2m_mask[i, j] = True
+        else:
+            m2o_loads[j] += value
+            m2o_mask[i, j] = True
+
+    # Line 16: remaining demand stays on regular paths.
+    reduced[:n, :n] = demand - filtered
+
+    return ReducedDemand(
+        reduced=reduced,
+        filtered=filtered,
+        o2m_assignment=o2m_mask,
+        m2o_assignment=m2o_mask,
+        volume_threshold=float(volume_threshold),
+        fanout_threshold=int(fanout_threshold),
+    )
+
+
+def reduce_with_config(
+    demand: np.ndarray, params: SwitchParams, config: "FilterConfig | None" = None
+) -> ReducedDemand:
+    """Algorithm 1 with thresholds resolved from a :class:`FilterConfig`."""
+    config = config or FilterConfig()
+    return cp_switch_demand_reduction(
+        demand,
+        fanout_threshold=config.resolve_fanout_threshold(params),
+        volume_threshold=config.resolve_volume_threshold(params),
+    )

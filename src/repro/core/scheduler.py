@@ -1,0 +1,218 @@
+"""Algorithm 4 — ``CPSwitchSched`` (§2.3): the full cp-Switch scheduler.
+
+The pipeline (Figure 4 of the paper):
+
+1. **Reduce & filter** the n×n demand ``D`` into the (n+1)×(n+1) demand
+   ``DI`` and the filtered composite demand ``Df`` (Algorithm 1).
+2. **Delegate** ``DI`` to any h-Switch scheduler (Solstice or Eclipse here)
+   — this is the reduction that lets cp-Switch ride on the existing body of
+   hybrid-switch scheduling research.
+3. **Interpret** each returned permutation with DivideByType (Algorithm 3):
+   entries in the last row/column are composite-path grants.
+4. **Schedule within** each granted composite path with CPSched
+   (Algorithm 2) under the reserved EPS budget ``Ce*``, recording exactly
+   how much of ``Df`` each configuration serves.
+
+The result is a :class:`CpSchedule`: an ordered list of
+:class:`CompositeScheduleEntry` — the cp-Switch analogue of a plain
+:class:`~repro.hybrid.schedule.Schedule` — plus the reduction artifacts and
+whatever filtered demand the composite paths could not finish (it falls
+back to the EPS afterwards; the simulator handles that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import FilterConfig
+from repro.core.cpsched import cpsched
+from repro.core.divide import divide_by_type
+from repro.core.reduction import ReducedDemand, reduce_with_config
+from repro.hybrid.base import HybridScheduler
+from repro.hybrid.schedule import Schedule
+from repro.switch.params import SwitchParams
+from repro.utils.validation import check_demand_matrix, check_nonnegative, check_permutation
+
+
+@dataclass(frozen=True)
+class CompositeScheduleEntry:
+    """One cp-Switch configuration.
+
+    Attributes
+    ----------
+    regular:
+        n×n partial permutation of regular OCS-OCS circuits.
+    duration:
+        Hold time (ms), reconfiguration penalty excluded.
+    composite_served:
+        n×n matrix of filtered-demand volume (Mb) the composite paths
+        deliver during this configuration — the paper's
+        ``Df,prev − Df`` term.
+    o2m_port, m2o_port:
+        Ports granted the one-to-many / many-to-one composite path
+        (``None`` if not granted).
+    """
+
+    regular: np.ndarray
+    duration: float
+    composite_served: np.ndarray
+    o2m_port: "int | None" = None
+    m2o_port: "int | None" = None
+
+    def __post_init__(self) -> None:
+        perm = check_permutation(self.regular, partial=True)
+        perm.setflags(write=False)
+        object.__setattr__(self, "regular", perm)
+        check_nonnegative("duration", self.duration)
+        served = np.asarray(self.composite_served, dtype=np.float64)
+        if served.shape != self.regular.shape:
+            raise ValueError(
+                f"composite_served shape {served.shape} != regular shape {self.regular.shape}"
+            )
+        served.setflags(write=False)
+        object.__setattr__(self, "composite_served", served)
+
+    @property
+    def composite_volume(self) -> float:
+        """Volume (Mb) the composite paths carry in this configuration."""
+        return float(self.composite_served.sum())
+
+
+@dataclass(frozen=True)
+class CpSchedule:
+    """Full cp-Switch schedule: interpreted configurations + provenance.
+
+    Attributes
+    ----------
+    entries:
+        Ordered cp-Switch configurations.
+    reconfig_delay:
+        OCS reconfiguration penalty δ (ms), charged before every entry.
+    reduction:
+        The Algorithm 1 output this schedule was derived from.
+    filtered_residual:
+        Part of ``Df`` the composite paths did not finish within the
+        schedule (Mb); it is served by the EPS afterwards.
+    reduced_schedule:
+        The raw (n+1)-space schedule the h-Switch sub-scheduler produced
+        (kept for diagnostics and the runtime tables).
+    """
+
+    entries: "tuple[CompositeScheduleEntry, ...]"
+    reconfig_delay: float
+    reduction: ReducedDemand
+    filtered_residual: np.ndarray
+    reduced_schedule: Schedule
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "entries", tuple(self.entries))
+        check_nonnegative("reconfig_delay", self.reconfig_delay)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def n_configs(self) -> int:
+        """Number of OCS configurations."""
+        return len(self.entries)
+
+    @property
+    def makespan(self) -> float:
+        """Circuit time plus one δ per configuration (ms)."""
+        return float(sum(e.duration for e in self.entries)) + self.n_configs * self.reconfig_delay
+
+    @property
+    def composite_volume_served(self) -> float:
+        """Total volume (Mb) delivered over composite paths."""
+        return float(sum(e.composite_volume for e in self.entries))
+
+    def reordered(self, order: "list[int]") -> "CpSchedule":
+        """Entries permuted by ``order`` — offline execution (§4)."""
+        if sorted(order) != list(range(len(self.entries))):
+            raise ValueError("order must be a permutation of entry indices")
+        return CpSchedule(
+            entries=tuple(self.entries[i] for i in order),
+            reconfig_delay=self.reconfig_delay,
+            reduction=self.reduction,
+            filtered_residual=self.filtered_residual,
+            reduced_schedule=self.reduced_schedule,
+        )
+
+
+@dataclass
+class CpSwitchScheduler:
+    """Algorithm 4: composite-path switch scheduler.
+
+    Wraps any :class:`~repro.hybrid.base.HybridScheduler` — the paper's
+    central claim is that this wrapper is all it takes to extend h-Switch
+    scheduling to the cp-Switch.
+
+    Parameters
+    ----------
+    inner:
+        The h-Switch scheduling algorithm used as a sub-routine.
+    filter_config:
+        Resolution of the (Rt, Bt) thresholds; defaults to the paper's
+        heuristic (β = 0.7, α by OCS class).
+    """
+
+    inner: HybridScheduler
+    filter_config: FilterConfig = field(default_factory=FilterConfig)
+
+    @property
+    def name(self) -> str:
+        return f"cp-{self.inner.name}"
+
+    def schedule(self, demand: np.ndarray, params: SwitchParams) -> CpSchedule:
+        """Compute the full cp-Switch schedule for ``demand``."""
+        demand = check_demand_matrix(demand)
+        n = demand.shape[0]
+        if n != params.n_ports:
+            raise ValueError(f"demand is {n}x{n} but params.n_ports={params.n_ports}")
+
+        # Step 1: reduce and filter (Algorithm 1).
+        reduction = reduce_with_config(demand, params, self.filter_config)
+
+        # Step 2: h-Switch scheduling of the reduced demand.
+        reduced_schedule = self.inner.schedule(reduction.reduced, params)
+
+        # Steps 3-4: interpret each permutation; schedule within composite
+        # paths under the reserved EPS budget Ce*.
+        eps_budget = params.effective_eps_budget
+        filtered = reduction.filtered.copy()
+        entries: list[CompositeScheduleEntry] = []
+        for item in reduced_schedule:
+            previous = filtered.copy()
+            divided = divide_by_type(item.permutation)
+            if divided.o2m_port is not None:
+                r = divided.o2m_port
+                filtered[r, :] = cpsched(
+                    filtered[r, :], item.duration, params.ocs_rate, eps_budget
+                )
+            if divided.m2o_port is not None:
+                c = divided.m2o_port
+                filtered[:, c] = cpsched(
+                    filtered[:, c], item.duration, params.ocs_rate, eps_budget
+                )
+            entries.append(
+                CompositeScheduleEntry(
+                    regular=divided.regular,
+                    duration=item.duration,
+                    composite_served=previous - filtered,
+                    o2m_port=divided.o2m_port,
+                    m2o_port=divided.m2o_port,
+                )
+            )
+
+        return CpSchedule(
+            entries=tuple(entries),
+            reconfig_delay=params.reconfig_delay,
+            reduction=reduction,
+            filtered_residual=filtered,
+            reduced_schedule=reduced_schedule,
+        )

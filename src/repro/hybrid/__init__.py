@@ -1,0 +1,19 @@
+"""Hybrid-switch (h-Switch) scheduling: shared schedule types and the two
+state-of-the-art baseline schedulers the paper evaluates against, Solstice
+(completion time) and Eclipse (OCS utilization)."""
+
+from repro.hybrid.base import HybridScheduler, make_scheduler
+from repro.hybrid.eclipse import EclipseScheduler
+from repro.hybrid.schedule import Schedule, ScheduleEntry
+from repro.hybrid.solstice import SolsticeScheduler
+from repro.hybrid.tdm import TdmScheduler
+
+__all__ = [
+    "EclipseScheduler",
+    "HybridScheduler",
+    "Schedule",
+    "ScheduleEntry",
+    "SolsticeScheduler",
+    "TdmScheduler",
+    "make_scheduler",
+]

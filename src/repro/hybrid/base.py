@@ -1,0 +1,61 @@
+"""Scheduler protocol: anything that turns a demand matrix into a Schedule.
+
+The cp-Switch scheduler (Algorithm 4) is deliberately generic over the
+h-Switch scheduler it wraps — "directly extend any hybrid-switching
+scheduling algorithm" (§1).  This module defines that seam.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.hybrid.schedule import Schedule
+from repro.switch.params import SwitchParams
+
+
+@runtime_checkable
+class HybridScheduler(Protocol):
+    """Protocol for h-Switch scheduling algorithms.
+
+    Implementations are constructed with whatever algorithm-specific knobs
+    they need and then called with ``(demand, params)``.  The demand may be
+    any square size — in particular (n+1)×(n+1) reduced cp-Switch demands —
+    and the returned schedule's permutations match that size.
+    """
+
+    #: Short machine-readable name ("solstice", "eclipse") used in reports.
+    name: str
+
+    def schedule(self, demand: np.ndarray, params: SwitchParams) -> Schedule:
+        """Compute an OCS schedule for ``demand`` under ``params``."""
+        ...
+
+
+def make_scheduler(name: str, **kwargs) -> HybridScheduler:
+    """Factory by name — convenience for experiment configs and examples.
+
+    Parameters
+    ----------
+    name:
+        ``"solstice"``, ``"eclipse"``, or ``"tdm"`` (case-insensitive);
+        ``"tdm"`` is the Figure 1(a) round-robin strawman baseline.
+    kwargs:
+        Forwarded to the scheduler constructor (e.g. ``window`` for
+        Eclipse).
+    """
+    from repro.hybrid.eclipse import EclipseScheduler
+    from repro.hybrid.solstice import SolsticeScheduler
+    from repro.hybrid.tdm import TdmScheduler
+
+    key = name.strip().lower()
+    if key == "solstice":
+        return SolsticeScheduler(**kwargs)
+    if key == "eclipse":
+        return EclipseScheduler(**kwargs)
+    if key == "tdm":
+        return TdmScheduler(**kwargs)
+    raise ValueError(
+        f"unknown scheduler {name!r}; expected 'solstice', 'eclipse', or 'tdm'"
+    )

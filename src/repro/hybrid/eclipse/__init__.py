@@ -1,0 +1,8 @@
+"""Eclipse (Bojja Venkatakrishnan et al., Sigmetrics 2016) — submodular
+greedy h-Switch scheduling maximizing demand served over the OCS within a
+time window."""
+
+from repro.hybrid.eclipse.durations import candidate_durations
+from repro.hybrid.eclipse.scheduler import EclipseScheduler
+
+__all__ = ["EclipseScheduler", "candidate_durations"]

@@ -1,0 +1,64 @@
+"""Candidate circuit-duration grid for Eclipse's greedy step.
+
+Each greedy iteration of Eclipse searches over (duration α, matching M)
+pairs.  For a *fixed* matching, the marginal value ``Σ min(D_ij, α·Co)`` is
+piecewise linear in α with breakpoints exactly where some matched entry
+drains, i.e. at ``α = D_ij / Co``.  The optimum of ``value / (α + δ)`` is
+therefore attained at one of those breakpoints (or at the window edge), so
+searching a grid of demand-derived drain times loses nothing structural.
+
+To bound work on dense matrices we thin the breakpoints to at most
+``grid_size`` quantiles of the positive residual entries, always keeping the
+smallest and largest, and always adding the remaining-window duration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import VOLUME_TOL
+
+
+def candidate_durations(
+    residual: np.ndarray,
+    ocs_rate: float,
+    max_duration: float,
+    *,
+    grid_size: int = 16,
+) -> np.ndarray:
+    """Sorted, deduplicated candidate durations (ms) for one greedy step.
+
+    Parameters
+    ----------
+    residual:
+        Current residual demand matrix (Mb).
+    ocs_rate:
+        OCS line rate ``Co`` (Mb/ms).
+    max_duration:
+        Longest allowed duration — the window time still available after
+        accounting for the next reconfiguration.
+    grid_size:
+        Maximum number of demand-derived candidates (≥ 2).
+
+    Returns
+    -------
+    Array of strictly positive durations, each ≤ ``max_duration``; empty if
+    ``max_duration`` is not positive or there is no residual demand.
+    """
+    if grid_size < 2:
+        raise ValueError(f"grid_size must be >= 2, got {grid_size}")
+    if max_duration <= 0:
+        return np.empty(0)
+    values = np.asarray(residual, dtype=np.float64)
+    values = values[values > VOLUME_TOL]
+    if values.size == 0:
+        return np.empty(0)
+
+    drain_times = np.unique(values) / ocs_rate
+    if drain_times.size > grid_size:
+        quantiles = np.linspace(0.0, 1.0, grid_size)
+        drain_times = np.unique(np.quantile(drain_times, quantiles))
+    candidates = np.minimum(drain_times, max_duration)
+    candidates = np.append(candidates, max_duration)
+    candidates = np.unique(candidates)
+    return candidates[candidates > 0]

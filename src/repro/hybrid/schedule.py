@@ -1,0 +1,131 @@
+"""Schedule containers shared by every scheduler in the library.
+
+An OCS schedule is an ordered list of (permutation matrix, duration) pairs
+(§2.2): during entry *k* the OCS is configured as the (possibly partial)
+permutation ``P_k`` for ``t_k`` milliseconds, preceded by a reconfiguration
+penalty δ during which the OCS carries no traffic.  The EPS runs throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_permutation
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One OCS configuration: a (partial) permutation held for a duration.
+
+    Attributes
+    ----------
+    permutation:
+        m×m 0/1 matrix with at most one 1 per row/column.  For a plain
+        h-Switch schedule m = n; for a schedule produced from a reduced
+        cp-Switch demand m = n + 1 and the last row/column stand for the
+        composite paths.
+    duration:
+        Time the configuration is held, ms (excluding the reconfiguration
+        penalty, which the simulator charges separately).
+    """
+
+    permutation: np.ndarray
+    duration: float
+
+    def __post_init__(self) -> None:
+        perm = check_permutation(self.permutation, partial=True)
+        perm.setflags(write=False)
+        object.__setattr__(self, "permutation", perm)
+        check_nonnegative("duration", self.duration)
+
+    @property
+    def size(self) -> int:
+        """Matrix dimension m of the permutation."""
+        return self.permutation.shape[0]
+
+    @property
+    def circuits(self) -> "list[tuple[int, int]]":
+        """The (input, output) pairs connected by this configuration."""
+        rows, cols = np.nonzero(self.permutation)
+        return list(zip(rows.tolist(), cols.tolist()))
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An ordered OCS schedule plus the reconfiguration penalty that applies
+    between configurations.
+
+    The convention throughout the library (matching the paper's accounting,
+    where *m* configurations cost *m* reconfigurations of idle OCS time) is
+    that **every** entry, including the first, is preceded by one δ penalty:
+    the OCS starts unconfigured.
+    """
+
+    entries: "tuple[ScheduleEntry, ...]"
+    reconfig_delay: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "entries", tuple(self.entries))
+        check_nonnegative("reconfig_delay", self.reconfig_delay)
+        sizes = {entry.size for entry in self.entries}
+        if len(sizes) > 1:
+            raise ValueError(f"schedule mixes permutation sizes: {sorted(sizes)}")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> ScheduleEntry:
+        return self.entries[index]
+
+    @property
+    def n_configs(self) -> int:
+        """Number of OCS configurations (the paper's 'OCS configurations')."""
+        return len(self.entries)
+
+    @property
+    def circuit_time(self) -> float:
+        """Total circuit-active time, ms (sum of durations)."""
+        return float(sum(entry.duration for entry in self.entries))
+
+    @property
+    def reconfig_time(self) -> float:
+        """Total OCS-idle reconfiguration time, ms."""
+        return self.n_configs * self.reconfig_delay
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end OCS schedule length: circuit time plus penalties, ms."""
+        return self.circuit_time + self.reconfig_time
+
+    def served_volume(self, demand: np.ndarray, ocs_rate: float) -> float:
+        """Volume (Mb) of ``demand`` this schedule can push through the OCS.
+
+        Fluid accounting: entry (i, j) matched for duration t serves
+        ``min(demand[i, j] residual, t * ocs_rate)``.  Used by tests and by
+        Solstice's stopping rule; the simulator does the authoritative
+        accounting.
+        """
+        residual = np.asarray(demand, dtype=np.float64).copy()
+        served = 0.0
+        for entry in self.entries:
+            capacity = entry.duration * ocs_rate
+            rows, cols = np.nonzero(entry.permutation)
+            take = np.minimum(residual[rows, cols], capacity)
+            residual[rows, cols] -= take
+            served += float(take.sum())
+        return served
+
+    def reordered(self, order: "list[int]") -> "Schedule":
+        """New schedule with entries permuted by ``order`` (offline execution,
+        §4): same configurations, different execution order."""
+        if sorted(order) != list(range(len(self.entries))):
+            raise ValueError("order must be a permutation of entry indices")
+        return Schedule(
+            entries=tuple(self.entries[i] for i in order),
+            reconfig_delay=self.reconfig_delay,
+        )

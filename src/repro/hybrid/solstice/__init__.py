@@ -1,0 +1,8 @@
+"""Solstice (Liu et al., CoNEXT 2015) — completion-time-driven h-Switch
+scheduling via matrix stuffing and greedy threshold slicing."""
+
+from repro.hybrid.solstice.scheduler import SolsticeScheduler
+from repro.hybrid.solstice.slicing import big_slice
+from repro.hybrid.solstice.stuffing import quick_stuff
+
+__all__ = ["SolsticeScheduler", "big_slice", "quick_stuff"]

@@ -1,0 +1,23 @@
+"""Bipartite-matching algorithms used by the hybrid-switch schedulers.
+
+* :func:`hopcroft_karp` / :func:`has_perfect_matching` — maximum-cardinality
+  matching; the feasibility oracle inside Solstice's BigSlice.
+* :func:`max_weight_matching` — maximum-weight perfect matching; the inner
+  step of Eclipse's greedy.
+* :func:`birkhoff_von_neumann` — decomposition of an equal-row/column-sum
+  matrix into weighted permutations; used as a test oracle and by the
+  offline-execution extension.
+"""
+
+from repro.matching.birkhoff import BirkhoffTerm, birkhoff_von_neumann
+from repro.matching.hopcroft_karp import has_perfect_matching, hopcroft_karp, matching_to_permutation
+from repro.matching.max_weight import max_weight_matching
+
+__all__ = [
+    "BirkhoffTerm",
+    "birkhoff_von_neumann",
+    "has_perfect_matching",
+    "hopcroft_karp",
+    "matching_to_permutation",
+    "max_weight_matching",
+]

@@ -1,0 +1,95 @@
+"""Birkhoff–von-Neumann decomposition of equal-row/column-sum matrices.
+
+A non-negative matrix whose row sums and column sums are all equal to the
+same value φ (a scaled doubly-stochastic matrix) can be written as a sum of
+at most ``n^2 - 2n + 2`` weighted permutation matrices.  Solstice's stuffing
+step manufactures exactly such a matrix, which is why its slicing loop can
+always find a perfect matching on the positive entries.
+
+This module provides a classic BvN decomposition used (a) as a test oracle
+for that invariant, and (b) by the offline-execution extension, which wants
+a complete decomposition it can reorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matching.hopcroft_karp import perfect_matching_mask
+from repro.utils.validation import VOLUME_TOL
+
+
+@dataclass(frozen=True)
+class BirkhoffTerm:
+    """One ``weight × permutation`` term of a BvN decomposition."""
+
+    weight: float
+    permutation: np.ndarray  # (n, n) int8 0/1 full permutation
+
+
+def is_equal_sum(matrix: np.ndarray, tol: float = 1e-6) -> bool:
+    """Whether all row sums and column sums agree (within ``tol``)."""
+    arr = np.asarray(matrix, dtype=np.float64)
+    sums = np.concatenate([arr.sum(axis=0), arr.sum(axis=1)])
+    return bool(sums.max() - sums.min() <= tol)
+
+
+def birkhoff_von_neumann(matrix: np.ndarray, tol: float = VOLUME_TOL) -> "list[BirkhoffTerm]":
+    """Decompose an equal-sum non-negative matrix into weighted permutations.
+
+    Each step extracts a perfect matching over the strictly positive entries
+    and subtracts the minimum matched value, zeroing at least one entry, so
+    the loop runs at most ``nnz`` times.
+
+    Raises
+    ------
+    ValueError
+        If the matrix is not square/non-negative or its row and column sums
+        are not all equal (so no full decomposition exists).
+    """
+    residual = np.asarray(matrix, dtype=np.float64).copy()
+    if residual.ndim != 2 or residual.shape[0] != residual.shape[1]:
+        raise ValueError(f"matrix must be square, got shape {residual.shape}")
+    if np.any(residual < -tol):
+        raise ValueError("matrix must be non-negative")
+    if not is_equal_sum(residual, tol=max(tol, 1e-6)):
+        raise ValueError("matrix row/column sums are not all equal; stuff it first")
+    # Snap sub-tolerance dust to zero: such entries are excluded from the
+    # matching mask but would still skew row/column sums, letting the
+    # equal-sum check pass while no perfect matching exists on the mask.
+    residual[residual <= tol] = 0.0
+
+    n = residual.shape[0]
+    # Residue below this total is float dust (≤ a few bits of "demand"),
+    # not a broken invariant: subtraction noise, or near-tolerance entries
+    # the stuffing produced, can strand volume that no perfect matching
+    # over the >tol mask can reach once the real entries drain.
+    dust_budget = n * 1e3 * tol
+    terms: list[BirkhoffTerm] = []
+    while residual.max(initial=0.0) > tol:
+        mask = residual > tol
+        match = perfect_matching_mask(mask)
+        if match is None:
+            if residual.sum() <= dust_budget:
+                break  # discard the dust
+            raise RuntimeError(
+                "no perfect matching over positive entries; equal-sum invariant broken"
+            )
+        rows = np.arange(n)
+        weight = float(residual[rows, match].min())
+        perm = np.zeros((n, n), dtype=np.int8)
+        perm[rows, match] = 1
+        residual[rows, match] -= weight
+        np.clip(residual, 0.0, None, out=residual)
+        terms.append(BirkhoffTerm(weight=weight, permutation=perm))
+    return terms
+
+
+def recompose(terms: "list[BirkhoffTerm]", n: int) -> np.ndarray:
+    """Sum of ``weight × permutation`` over the terms (inverse of decompose)."""
+    total = np.zeros((n, n), dtype=np.float64)
+    for term in terms:
+        total += term.weight * term.permutation
+    return total

@@ -1,0 +1,334 @@
+"""The fluid event-driven execution engine.
+
+Time advances from one *rate-change event* to the next.  Within a phase
+(fixed OCS configuration, or a reconfiguration gap, or the final EPS-only
+drain) the set of service rates is constant until some entry drains, so the
+engine repeatedly:
+
+1. computes every mechanism's current rates —
+   * regular OCS circuits serve their matched entry at ``Co``;
+   * each active composite path serves its remaining filtered entries at
+     the CPSched rate ``min(Ce*, Co / active_count)`` per endpoint,
+     reserving that rate on the EPS links it traverses (§2.3,
+     "EPS Reservation");
+   * the EPS serves all other residual regular demand with max-min fair
+     rates under the remaining per-port capacities;
+2. advances to the earliest of (entry drains, phase ends);
+3. books served volume per mechanism and records finish times.
+
+Every event drains at least one entry or ends the phase, so the engine
+performs O(non-zero entries + phases) rate computations per simulation.
+
+Demand placement: an entry's residual lives in exactly one of two matrices —
+``regular`` (served by circuits + EPS) or ``composite`` (served only by
+composite paths while the schedule runs).  ``merge_composite_into_regular``
+moves unfinished composite residual back to the EPS for the final drain,
+matching the paper's model where filtered traffic not completed by the
+composite paths is ordinary packet traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.metrics import RateSegment, SimulationResult
+from repro.sim.rates import max_min_fair_rate_matrix
+from repro.switch.params import SwitchParams
+from repro.utils.validation import VOLUME_TOL, check_demand_matrix
+
+#: Durations shorter than this (ms) are treated as elapsed.
+TIME_TOL: float = 1e-12
+
+
+@dataclass(frozen=True)
+class CompositeService:
+    """An active composite path inside one phase.
+
+    Attributes
+    ----------
+    kind:
+        ``"o2m"`` (one-to-many: ``port`` is the sender) or ``"m2o"``
+        (many-to-one: ``port`` is the receiver).
+    port:
+        The granted port index.
+    lane_mask:
+        Optional boolean vector restricting which filtered entries of the
+        row/column this path serves (used by the k-path extension);
+        ``None`` serves the whole row/column, as Algorithm 4 does.
+    """
+
+    kind: str
+    port: int
+    lane_mask: "np.ndarray | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("o2m", "m2o"):
+            raise ValueError(f"kind must be 'o2m' or 'm2o', got {self.kind!r}")
+        if self.port < 0:
+            raise ValueError(f"port must be non-negative, got {self.port}")
+
+
+class FluidEngine:
+    """Stateful fluid executor for one demand matrix on one switch."""
+
+    def __init__(self, demand: np.ndarray, params: SwitchParams) -> None:
+        demand = check_demand_matrix(demand)
+        if demand.shape[0] != params.n_ports:
+            raise ValueError(
+                f"demand is {demand.shape[0]}x{demand.shape[1]} but "
+                f"params.n_ports={params.n_ports}"
+            )
+        self.params = params
+        self.n = params.n_ports
+        self.regular = demand.copy()
+        self.composite = np.zeros_like(demand)
+        self.demanded = demand > VOLUME_TOL
+        self.finish_times = np.full(demand.shape, np.nan)
+        self.clock = 0.0
+        self.segments: list[RateSegment] = []
+        self.served_ocs_direct = 0.0
+        self.served_composite = 0.0
+        self.served_eps = 0.0
+        self.total_demand = float(demand.sum())
+
+    # ------------------------------------------------------------------ #
+    # demand placement
+    # ------------------------------------------------------------------ #
+
+    def assign_composite(self, filtered: np.ndarray) -> None:
+        """Move the filtered demand ``Df`` onto the composite residual.
+
+        Must be called before any phase runs; mirrors Algorithm 1's split
+        ``DI[:n, :n] = D − Df``.
+        """
+        filtered = np.asarray(filtered, dtype=np.float64)
+        if filtered.shape != self.regular.shape:
+            raise ValueError(f"filtered shape {filtered.shape} != demand shape")
+        if np.any(filtered > self.regular + 1e-9):
+            raise ValueError("filtered demand exceeds remaining regular demand")
+        if self.clock > 0:
+            raise RuntimeError("assign_composite must run before the first phase")
+        self.regular = np.maximum(self.regular - filtered, 0.0)
+        self.composite = self.composite + filtered
+
+    def merge_composite_into_regular(self) -> None:
+        """Return unfinished composite residual to the EPS (final drain)."""
+        self.regular += self.composite
+        self.composite[:] = 0.0
+
+    # ------------------------------------------------------------------ #
+    # phase execution
+    # ------------------------------------------------------------------ #
+
+    def run_phase(
+        self,
+        duration: "float | None",
+        circuits: "np.ndarray | None" = None,
+        composites: "tuple[CompositeService, ...] | list[CompositeService]" = (),
+        eps_enabled: bool = True,
+    ) -> None:
+        """Advance the simulation through one constant-configuration phase.
+
+        Parameters
+        ----------
+        duration:
+            Phase length (ms); ``None`` runs until all residual demand is
+            drained (the final EPS-only drain).
+        circuits:
+            n×n 0/1 partial permutation of regular OCS circuits active in
+            this phase, or ``None`` (e.g. during reconfiguration).
+        composites:
+            Active composite paths.
+        eps_enabled:
+            Whether the EPS serves regular demand (always true in the
+            paper's model; disabling it isolates mechanisms in tests).
+        """
+        open_ended = duration is None
+        remaining = np.inf if open_ended else float(duration)
+        if not open_ended and remaining < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        circuit_rows: np.ndarray
+        circuit_cols: np.ndarray
+        if circuits is not None:
+            circuit_rows, circuit_cols = np.nonzero(circuits)
+        else:
+            circuit_rows = circuit_cols = np.empty(0, dtype=np.int64)
+
+        while remaining > TIME_TOL:
+            reg_rate, comp_rate, breakdown = self._current_rates(
+                circuit_rows, circuit_cols, composites, eps_enabled
+            )
+            dt_event = self._next_drain(reg_rate, comp_rate)
+            if not np.isfinite(dt_event) and open_ended:
+                break  # nothing left to serve
+            dt = min(dt_event, remaining)
+            if dt <= TIME_TOL:
+                # Nothing is being served and the phase is finite: idle out.
+                self.clock += remaining
+                break
+            self._apply(reg_rate, comp_rate, breakdown, dt)
+            remaining -= dt
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _current_rates(
+        self,
+        circuit_rows: np.ndarray,
+        circuit_cols: np.ndarray,
+        composites,
+        eps_enabled: bool,
+    ) -> "tuple[np.ndarray, np.ndarray, tuple[float, float, float]]":
+        """Rates for the current residuals.
+
+        Returns ``(regular_rates, composite_rates, (circuit_total,
+        composite_total, eps_total))``.
+        """
+        params = self.params
+        n = self.n
+        reg_rate = np.zeros_like(self.regular)
+        comp_rate = np.zeros_like(self.regular)
+        in_cap = np.full(n, params.eps_rate)
+        out_cap = np.full(n, params.eps_rate)
+
+        # Regular OCS circuits.
+        circuit_total = 0.0
+        if circuit_rows.size:
+            live = self.regular[circuit_rows, circuit_cols] > VOLUME_TOL
+            rows, cols = circuit_rows[live], circuit_cols[live]
+            reg_rate[rows, cols] = params.ocs_rate
+            circuit_total = params.ocs_rate * rows.size
+
+        # Composite paths: CPSched rates + EPS reservation.
+        budget = params.effective_eps_budget
+        composite_total = 0.0
+        for service in composites:
+            if service.kind == "o2m":
+                vector = self.composite[service.port, :]
+            else:
+                vector = self.composite[:, service.port]
+            active = vector > VOLUME_TOL
+            if service.lane_mask is not None:
+                active = active & service.lane_mask
+            count = int(active.sum())
+            if count == 0:
+                continue
+            rate = min(budget, params.ocs_rate / count)
+            if service.kind == "o2m":
+                comp_rate[service.port, active] += rate
+                out_cap[active] -= rate  # reservation on destination EPS links
+            else:
+                comp_rate[active, service.port] += rate
+                in_cap[active] -= rate  # reservation on source EPS links
+            composite_total += rate * count
+        np.clip(in_cap, 0.0, None, out=in_cap)
+        np.clip(out_cap, 0.0, None, out=out_cap)
+
+        # EPS: everything regular that no circuit is serving right now.
+        eps_total = 0.0
+        if eps_enabled:
+            eps_active = (self.regular > VOLUME_TOL) & (reg_rate <= 0)
+            if eps_active.any():
+                eps_rates = max_min_fair_rate_matrix(eps_active, in_cap, out_cap)
+                reg_rate += eps_rates
+                eps_total = float(eps_rates.sum())
+        return reg_rate, comp_rate, (circuit_total, composite_total, eps_total)
+
+    def _next_drain(self, reg_rate: np.ndarray, comp_rate: np.ndarray) -> float:
+        """Time until the earliest served entry drains (inf if none)."""
+        dt = np.inf
+        served = reg_rate > 0
+        if served.any():
+            dt = min(dt, float((self.regular[served] / reg_rate[served]).min()))
+        served = comp_rate > 0
+        if served.any():
+            dt = min(dt, float((self.composite[served] / comp_rate[served]).min()))
+        return dt
+
+    def _apply(
+        self,
+        reg_rate: np.ndarray,
+        comp_rate: np.ndarray,
+        breakdown: "tuple[float, float, float]",
+        dt: float,
+    ) -> None:
+        """Advance time by ``dt`` at the given rates; book volumes/finishes."""
+        circuit_total, composite_total, eps_total = breakdown
+        before = self.regular + self.composite
+
+        self.regular -= reg_rate * dt
+        self.composite -= comp_rate * dt
+        np.clip(self.regular, 0.0, None, out=self.regular)
+        np.clip(self.composite, 0.0, None, out=self.composite)
+        # Snap float dust to exact zero so drained entries stay drained.
+        self.regular[self.regular <= VOLUME_TOL] = 0.0
+        self.composite[self.composite <= VOLUME_TOL] = 0.0
+
+        after = self.regular + self.composite
+        newly_done = self.demanded & (before > VOLUME_TOL) & (after <= VOLUME_TOL)
+        self.finish_times[newly_done] = self.clock + dt
+
+        # dt never exceeds residual/rate for any served entry, so rate*dt is
+        # the exact served volume per mechanism (up to the snap tolerance).
+        self.served_ocs_direct += circuit_total * dt
+        self.served_composite += composite_total * dt
+        self.served_eps += eps_total * dt
+
+        self.segments.append(
+            RateSegment(
+                start=self.clock,
+                end=self.clock + dt,
+                ocs_direct_rate=circuit_total,
+                composite_rate=composite_total,
+                eps_rate=eps_total,
+            )
+        )
+        self.clock += dt
+
+    # ------------------------------------------------------------------ #
+    # result
+    # ------------------------------------------------------------------ #
+
+    def residual_total(self) -> float:
+        """Total undelivered volume (Mb)."""
+        return float(self.regular.sum() + self.composite.sum())
+
+    def result(
+        self, n_configs: int, makespan: float, *, allow_residual: bool = False
+    ) -> SimulationResult:
+        """Freeze the engine state into a :class:`SimulationResult`.
+
+        With ``allow_residual`` (horizon-bounded executions) the leftover
+        demand is reported instead of rejected; pending entries keep their
+        ``nan`` finish times and the completion time becomes ``nan``.
+        """
+        leftover = self.residual_total()
+        if leftover > VOLUME_TOL * max(1, self.n) ** 2 and not allow_residual:
+            raise RuntimeError(
+                f"simulation ended with {leftover} Mb undelivered; "
+                "run a final drain phase first"
+            )
+        finished = self.finish_times[self.demanded]
+        if finished.size == 0:
+            completion = 0.0
+        elif np.isnan(finished).any():
+            completion = float("nan")  # something is still pending
+        else:
+            completion = float(finished.max())
+        result = SimulationResult(
+            finish_times=self.finish_times,
+            completion_time=completion,
+            n_configs=n_configs,
+            makespan=makespan,
+            segments=self.segments,
+            served_ocs_direct=self.served_ocs_direct,
+            served_composite=self.served_composite,
+            served_eps=self.served_eps,
+            total_demand=self.total_demand,
+            residual=(self.regular + self.composite) if allow_residual else None,
+        )
+        result.check_conservation(tol=1e-6)
+        return result

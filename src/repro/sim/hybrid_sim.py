@@ -1,0 +1,78 @@
+"""Online execution of an h-Switch schedule (§3: "online execution").
+
+Phases, in scheduler order: for every configuration, a reconfiguration gap
+of δ (OCS dark, EPS serving), then the configuration held for its duration
+(circuits at ``Co``, EPS serving everything else).  After the last
+configuration the OCS goes dark and the EPS drains whatever remains.
+
+A ``horizon`` bounds execution to a fixed wall-clock budget instead —
+phases are truncated at the horizon and the leftover demand is reported as
+residual (used by the closed-loop epoch controller to study sustained
+load).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hybrid.schedule import Schedule
+from repro.sim.engine import FluidEngine
+from repro.sim.metrics import SimulationResult
+from repro.switch.params import SwitchParams
+
+
+def simulate_hybrid(
+    demand: np.ndarray,
+    schedule: Schedule,
+    params: SwitchParams,
+    horizon: "float | None" = None,
+) -> SimulationResult:
+    """Execute ``schedule`` on ``demand``; return completion metrics.
+
+    Parameters
+    ----------
+    demand:
+        n×n demand matrix (Mb).
+    schedule:
+        OCS schedule whose permutations are n×n (i.e. an h-Switch schedule
+        for this demand, not a reduced cp-Switch one).
+    params:
+        Switch parameters; ``params.reconfig_delay`` should match
+        ``schedule.reconfig_delay``.
+    horizon:
+        Optional execution budget (ms).  ``None`` runs to completion;
+        otherwise execution stops at the horizon and the result carries
+        the residual demand.
+    """
+    demand = np.asarray(demand, dtype=np.float64)
+    if len(schedule) and schedule[0].size != demand.shape[0]:
+        raise ValueError(
+            f"schedule permutations are {schedule[0].size}x{schedule[0].size} but "
+            f"demand is {demand.shape[0]}x{demand.shape[0]}; "
+            "use simulate_cp for reduced cp-Switch schedules"
+        )
+    if horizon is not None and horizon < 0:
+        raise ValueError(f"horizon must be non-negative, got {horizon}")
+    engine = FluidEngine(demand, params)
+
+    def budget(duration: float) -> float:
+        if horizon is None:
+            return duration
+        return min(duration, max(0.0, horizon - engine.clock))
+
+    for entry in schedule:
+        if horizon is not None and engine.clock >= horizon:
+            break
+        engine.run_phase(budget(params.reconfig_delay))  # OCS dark, EPS on
+        if horizon is not None and engine.clock >= horizon:
+            break
+        engine.run_phase(budget(entry.duration), circuits=entry.permutation)
+
+    if horizon is None:
+        engine.run_phase(None)  # EPS-only drain of leftovers
+        return engine.result(n_configs=schedule.n_configs, makespan=schedule.makespan)
+    if engine.clock < horizon:
+        engine.run_phase(horizon - engine.clock)  # EPS-only until the horizon
+    return engine.result(
+        n_configs=schedule.n_configs, makespan=schedule.makespan, allow_residual=True
+    )

@@ -1,0 +1,262 @@
+"""Packet-level EPS crossbar model — cross-check for the fluid abstraction.
+
+The main simulator models the EPS as a fluid max-min fair allocator.  Real
+electronic packet switches are slotted crossbars with per-receiver VOQs and
+an iterative arbiter (iSLIP and friends): in each time slot every input
+forwards at most one cell and every output accepts at most one cell, with
+round-robin pointers providing fairness.  This module implements that
+model, and the test suite checks that per-port drain times of the fluid
+model match the slotted model up to slot-quantization — evidence that the
+fluid EPS is a faithful abstraction rather than a convenient fiction.
+
+The arbiter is an iSLIP-style iterative grant/accept scheme:
+
+1. *Request*: every input with backlog requests all outputs it has cells
+   for.
+2. *Grant*: each output grants the requesting input closest to its
+   round-robin pointer.
+3. *Accept*: each input accepts the granting output closest to its pointer.
+4. Repeat on unmatched ports for a fixed number of iterations.
+
+Pointers advance only on accepted grants of the first iteration, the
+classic iSLIP de-synchronization rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.switch.params import SwitchParams
+from repro.switch.voq import VirtualOutputQueues
+from repro.utils.validation import VOLUME_TOL, check_positive
+
+
+@dataclass
+class PacketLevelResult:
+    """Outcome of draining a VOQ matrix through the slotted crossbar."""
+
+    finish_times: np.ndarray  # ms; nan where no demand
+    completion_time: float  # ms
+    slots_used: int
+    cells_transferred: int
+    ocs_volume: float = 0.0  # Mb moved by circuits (hybrid model only)
+    eps_volume: float = 0.0  # Mb moved by the crossbar
+
+
+class PacketLevelEps:
+    """Slotted VOQ crossbar with an iSLIP-style arbiter.
+
+    Parameters
+    ----------
+    n_ports:
+        Crossbar radix.
+    eps_rate:
+        Port rate ``Ce`` (Mb/ms); with ``slot_duration`` this sets the cell
+        size ``Ce * slot_duration`` (Mb).
+    slot_duration:
+        Slot length (ms).  Smaller slots approximate the fluid model more
+        closely at higher simulation cost.
+    arbiter_iterations:
+        Grant/accept rounds per slot (iSLIP converges to a maximal matching
+        in O(log n) rounds; 4 is the classic hardware choice).
+    """
+
+    def __init__(
+        self,
+        n_ports: int,
+        eps_rate: float = 10.0,
+        slot_duration: float = 0.01,
+        arbiter_iterations: int = 4,
+    ) -> None:
+        if n_ports < 2:
+            raise ValueError(f"n_ports must be >= 2, got {n_ports}")
+        check_positive("eps_rate", eps_rate)
+        check_positive("slot_duration", slot_duration)
+        if arbiter_iterations < 1:
+            raise ValueError(f"arbiter_iterations must be >= 1, got {arbiter_iterations}")
+        self.n = int(n_ports)
+        self.eps_rate = float(eps_rate)
+        self.slot_duration = float(slot_duration)
+        self.cell_volume = self.eps_rate * self.slot_duration
+        self.arbiter_iterations = int(arbiter_iterations)
+        self._grant_pointer = np.zeros(self.n, dtype=np.int64)  # per output
+        self._accept_pointer = np.zeros(self.n, dtype=np.int64)  # per input
+
+    # ------------------------------------------------------------------ #
+
+    def arbitrate(self, backlog: np.ndarray) -> "list[tuple[int, int]]":
+        """One slot's matching decision for the given VOQ backlog matrix."""
+        requests = backlog > VOLUME_TOL
+        matched_inputs = np.zeros(self.n, dtype=bool)
+        matched_outputs = np.zeros(self.n, dtype=bool)
+        matching: list[tuple[int, int]] = []
+        for iteration in range(self.arbiter_iterations):
+            grants: dict[int, int] = {}  # output -> granted input
+            for output in range(self.n):
+                if matched_outputs[output]:
+                    continue
+                requesting = [
+                    inp
+                    for inp in self._rotation(self._grant_pointer[output])
+                    if not matched_inputs[inp] and requests[inp, output]
+                ]
+                if requesting:
+                    grants[output] = requesting[0]
+            accepts: dict[int, int] = {}  # input -> accepted output
+            granted_by_input: dict[int, list[int]] = {}
+            for output, inp in grants.items():
+                granted_by_input.setdefault(inp, []).append(output)
+            for inp, outputs in granted_by_input.items():
+                ordered = [
+                    out for out in self._rotation(self._accept_pointer[inp]) if out in outputs
+                ]
+                accepts[inp] = ordered[0]
+            for inp, output in accepts.items():
+                matched_inputs[inp] = True
+                matched_outputs[output] = True
+                matching.append((inp, output))
+                if iteration == 0:
+                    # iSLIP pointer update: one past the matched partner,
+                    # first iteration only (de-synchronization).
+                    self._grant_pointer[output] = (inp + 1) % self.n
+                    self._accept_pointer[inp] = (output + 1) % self.n
+            if not accepts:
+                break
+        return matching
+
+    def _rotation(self, start: int) -> "list[int]":
+        start = int(start) % self.n
+        return list(range(start, self.n)) + list(range(0, start))
+
+    # ------------------------------------------------------------------ #
+
+    def drain(self, demand: np.ndarray, max_slots: int = 1_000_000) -> PacketLevelResult:
+        """Run slots until every VOQ is empty; return per-entry finish times."""
+        voqs = VirtualOutputQueues(self.n, initial=np.asarray(demand, dtype=np.float64))
+        finish = np.full((self.n, self.n), np.nan)
+        demanded = np.asarray(demand) > VOLUME_TOL
+        cells = 0
+        slot = 0
+        while not voqs.is_empty():
+            if slot >= max_slots:
+                raise RuntimeError(f"packet-level drain exceeded {max_slots} slots")
+            matching = self.arbitrate(voqs.occupancy)
+            for inp, output in matching:
+                voqs.serve(inp, output, self.cell_volume)
+                cells += 1
+                if voqs.occupancy[inp, output] <= VOLUME_TOL and demanded[inp, output]:
+                    if np.isnan(finish[inp, output]):
+                        finish[inp, output] = (slot + 1) * self.slot_duration
+            slot += 1
+        voqs.check_conservation()
+        finished = finish[demanded]
+        completion = float(np.nanmax(finished)) if finished.size else 0.0
+        return PacketLevelResult(
+            finish_times=finish,
+            completion_time=completion,
+            slots_used=slot,
+            cells_transferred=cells,
+        )
+
+
+class PacketLevelHybrid:
+    """Slotted execution of a full h-Switch schedule — the pipeline-level
+    cross-check.
+
+    Extends the EPS crossbar model with the OCS plane: the schedule's
+    configurations are quantized to slots; during a configuration's slots
+    each live circuit moves one OCS cell (``Co * slot_duration`` Mb) per
+    slot, during reconfiguration slots the OCS idles, and the EPS crossbar
+    arbitrates every slot over the VOQs no circuit is serving.  After the
+    schedule, EPS-only slots drain the leftovers.
+
+    This validates the *composed* fluid model (phases, exclusion of
+    circuit-served VOQs from the EPS, reconfiguration accounting), not
+    just the EPS allocator; agreement is up to slot quantization.
+    """
+
+    def __init__(
+        self,
+        params: "SwitchParams",
+        slot_duration: float = 0.005,
+        arbiter_iterations: int = 4,
+    ) -> None:
+        check_positive("slot_duration", slot_duration)
+        self.params = params
+        self.slot_duration = float(slot_duration)
+        self.eps = PacketLevelEps(
+            params.n_ports,
+            eps_rate=params.eps_rate,
+            slot_duration=slot_duration,
+            arbiter_iterations=arbiter_iterations,
+        )
+        self.ocs_cell = params.ocs_rate * self.slot_duration
+
+    def _slots(self, duration: float) -> int:
+        return int(np.ceil(duration / self.slot_duration - 1e-9))
+
+    def execute(self, demand: np.ndarray, schedule, max_slots: int = 1_000_000) -> PacketLevelResult:
+        """Run ``schedule`` (a :class:`repro.hybrid.schedule.Schedule`)."""
+        voqs = VirtualOutputQueues(self.params.n_ports, initial=np.asarray(demand, dtype=np.float64))
+        n = self.params.n_ports
+        finish = np.full((n, n), np.nan)
+        demanded = np.asarray(demand) > VOLUME_TOL
+        slot = 0
+        cells = 0
+        ocs_volume = 0.0
+        eps_volume = 0.0
+
+        def record_finishes() -> None:
+            done = demanded & (voqs.occupancy <= VOLUME_TOL) & np.isnan(finish)
+            finish[done] = (slot + 1) * self.slot_duration
+
+        def eps_slot(blocked: "set[tuple[int, int]]") -> None:
+            nonlocal cells, eps_volume
+            backlog = voqs.occupancy.copy()
+            for (i, j) in blocked:
+                backlog[i, j] = 0.0
+            for inp, output in self.eps.arbitrate(backlog):
+                moved = voqs.serve(inp, output, self.eps.cell_volume)
+                eps_volume += moved
+                cells += 1
+
+        for entry in schedule:
+            for _ in range(self._slots(schedule.reconfig_delay)):
+                if slot >= max_slots:
+                    raise RuntimeError("packet-level execution exceeded max_slots")
+                eps_slot(set())
+                record_finishes()
+                slot += 1
+            circuits = entry.circuits
+            for _ in range(self._slots(entry.duration)):
+                if slot >= max_slots:
+                    raise RuntimeError("packet-level execution exceeded max_slots")
+                blocked = set()
+                for i, j in circuits:
+                    moved = voqs.serve(i, j, self.ocs_cell)
+                    ocs_volume += moved
+                    if moved > 0:
+                        blocked.add((i, j))
+                eps_slot(blocked)
+                record_finishes()
+                slot += 1
+        while not voqs.is_empty():
+            if slot >= max_slots:
+                raise RuntimeError("packet-level execution exceeded max_slots")
+            eps_slot(set())
+            record_finishes()
+            slot += 1
+
+        voqs.check_conservation()
+        finished = finish[demanded]
+        completion = float(np.nanmax(finished)) if finished.size else 0.0
+        return PacketLevelResult(
+            finish_times=finish,
+            completion_time=completion,
+            slots_used=slot,
+            cells_transferred=cells,
+            ocs_volume=ocs_volume,
+            eps_volume=eps_volume,
+        )

@@ -1,0 +1,150 @@
+"""Demand-matrix wrapper with the statistics the schedulers care about.
+
+A demand matrix ``D`` is an n×n array whose entry ``D[i, j]`` is the volume
+(Mb) queued at sender ``i``'s virtual output queue towards receiver ``j``
+(§2.1).  The raw array is the lingua franca of the library — every scheduler
+accepts a plain ``numpy`` array — but :class:`DemandMatrix` adds validation
+and the sparsity/skew statistics used in the evaluation discussion (§3.3
+mentions the mean number of non-zero entries; Solstice exploits sparsity and
+skewness explicitly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import VOLUME_TOL, check_demand_matrix
+
+
+@dataclass(frozen=True)
+class DemandStats:
+    """Summary statistics of a demand matrix."""
+
+    n_ports: int
+    total_volume: float
+    nonzero_entries: int
+    density: float
+    max_row_sum: float
+    max_col_sum: float
+    max_entry: float
+    skewness: float
+
+    def __str__(self) -> str:
+        return (
+            f"DemandStats(n={self.n_ports}, total={self.total_volume:.1f} Mb, "
+            f"nnz={self.nonzero_entries}, density={self.density:.3f}, "
+            f"max_port_load={max(self.max_row_sum, self.max_col_sum):.1f} Mb, "
+            f"skewness={self.skewness:.2f})"
+        )
+
+
+class DemandMatrix:
+    """Validated, immutable view of an n×n demand matrix.
+
+    Parameters
+    ----------
+    demand:
+        Square, non-negative, finite 2-D array (Mb).
+
+    Notes
+    -----
+    The underlying array is copied and marked read-only; use
+    :meth:`to_array` to obtain a private mutable copy.
+    """
+
+    def __init__(self, demand: np.ndarray) -> None:
+        arr = check_demand_matrix(demand)
+        arr.setflags(write=False)
+        self._demand = arr
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_ports(self) -> int:
+        """Switch radix n."""
+        return self._demand.shape[0]
+
+    @property
+    def array(self) -> np.ndarray:
+        """Read-only view of the demand (Mb)."""
+        return self._demand
+
+    def to_array(self) -> np.ndarray:
+        """Private mutable copy of the demand (Mb)."""
+        return self._demand.copy()
+
+    def __getitem__(self, key):
+        return self._demand[key]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DemandMatrix):
+            return np.array_equal(self._demand, other._demand)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # frozen-by-convention value object
+        return hash((self._demand.shape, self._demand.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"DemandMatrix(n={self.n_ports}, total={self.total_volume:.1f} Mb)"
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_volume(self) -> float:
+        """Total demand volume in Mb."""
+        return float(self._demand.sum())
+
+    @property
+    def nonzero_mask(self) -> np.ndarray:
+        """Boolean mask of entries with meaningful (> tolerance) demand."""
+        return self._demand > VOLUME_TOL
+
+    def row_sums(self) -> np.ndarray:
+        """Per-sender total demand (Mb)."""
+        return self._demand.sum(axis=1)
+
+    def col_sums(self) -> np.ndarray:
+        """Per-receiver total demand (Mb)."""
+        return self._demand.sum(axis=0)
+
+    def max_port_load(self) -> float:
+        """Largest per-port load — a lower bound on any schedule's volume."""
+        return float(max(self.row_sums().max(), self.col_sums().max()))
+
+    def eps_only_completion_bound(self, eps_rate: float) -> float:
+        """Lower bound (ms) on serving everything through the EPS alone.
+
+        The EPS serves each port at ``Ce``; the bottleneck port needs at
+        least ``max_port_load / Ce``.
+        """
+        if eps_rate <= 0:
+            raise ValueError(f"eps_rate must be positive, got {eps_rate}")
+        return self.max_port_load() / eps_rate
+
+    def stats(self) -> DemandStats:
+        """Compute the :class:`DemandStats` summary."""
+        mask = self.nonzero_mask
+        nnz = int(mask.sum())
+        values = self._demand[mask]
+        total = float(values.sum()) if nnz else 0.0
+        if nnz >= 2 and values.std() > 0:
+            centered = values - values.mean()
+            skew = float((centered**3).mean() / values.std() ** 3)
+        else:
+            skew = 0.0
+        return DemandStats(
+            n_ports=self.n_ports,
+            total_volume=total,
+            nonzero_entries=nnz,
+            density=nnz / self._demand.size,
+            max_row_sum=float(self.row_sums().max()),
+            max_col_sum=float(self.col_sums().max()),
+            max_entry=float(values.max()) if nnz else 0.0,
+            skewness=skew,
+        )

@@ -1,0 +1,114 @@
+"""Per-receiver Virtual Output Queues (VOQs).
+
+Each sender implements one queue per receiver (§2.1); their occupancies form
+the demand matrix the scheduler consumes.  The fluid simulator tracks VOQ
+state as a residual matrix; this class is the stateful façade used by the
+packet-level EPS cross-check model and by the examples, and it enforces the
+conservation invariants (enqueue/serve never go negative, totals balance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import VOLUME_TOL, check_demand_matrix
+
+
+class VirtualOutputQueues:
+    """n×n matrix of VOQ occupancies with conservation accounting.
+
+    Parameters
+    ----------
+    n_ports:
+        Switch radix.
+    initial:
+        Optional initial occupancy matrix (Mb).
+    """
+
+    def __init__(self, n_ports: int, initial: np.ndarray | None = None) -> None:
+        if n_ports < 1:
+            raise ValueError(f"n_ports must be >= 1, got {n_ports}")
+        self._n = int(n_ports)
+        if initial is None:
+            self._occupancy = np.zeros((self._n, self._n), dtype=np.float64)
+        else:
+            arr = check_demand_matrix(initial)
+            if arr.shape != (self._n, self._n):
+                raise ValueError(f"initial occupancy shape {arr.shape} != ({self._n}, {self._n})")
+            self._occupancy = arr
+        self._total_enqueued = float(self._occupancy.sum())
+        self._total_served = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_ports(self) -> int:
+        return self._n
+
+    @property
+    def occupancy(self) -> np.ndarray:
+        """Read-only view of current occupancies (Mb)."""
+        view = self._occupancy.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def total_enqueued(self) -> float:
+        """All volume ever enqueued, including the initial occupancy (Mb)."""
+        return self._total_enqueued
+
+    @property
+    def total_served(self) -> float:
+        """All volume ever served (Mb)."""
+        return self._total_served
+
+    @property
+    def backlog(self) -> float:
+        """Currently queued volume (Mb)."""
+        return float(self._occupancy.sum())
+
+    def is_empty(self, tol: float = VOLUME_TOL) -> bool:
+        """Whether every VOQ is drained (within ``tol``)."""
+        return bool(self._occupancy.max(initial=0.0) <= tol)
+
+    # ------------------------------------------------------------------ #
+
+    def enqueue(self, sender: int, receiver: int, volume: float) -> None:
+        """Add ``volume`` Mb to the (sender → receiver) VOQ."""
+        if volume < 0:
+            raise ValueError(f"cannot enqueue negative volume {volume}")
+        self._occupancy[sender, receiver] += volume
+        self._total_enqueued += volume
+
+    def serve(self, sender: int, receiver: int, volume: float) -> float:
+        """Drain up to ``volume`` Mb from the (sender → receiver) VOQ.
+
+        Returns the volume actually served (saturates at the occupancy).
+        """
+        if volume < 0:
+            raise ValueError(f"cannot serve negative volume {volume}")
+        served = min(volume, self._occupancy[sender, receiver])
+        self._occupancy[sender, receiver] -= served
+        self._total_served += served
+        return float(served)
+
+    def serve_matrix(self, amounts: np.ndarray) -> np.ndarray:
+        """Drain an entire matrix of amounts at once; returns actual drains."""
+        amounts = np.asarray(amounts, dtype=np.float64)
+        if amounts.shape != self._occupancy.shape:
+            raise ValueError(f"amounts shape {amounts.shape} != {self._occupancy.shape}")
+        if np.any(amounts < 0):
+            raise ValueError("cannot serve negative amounts")
+        served = np.minimum(amounts, self._occupancy)
+        self._occupancy -= served
+        self._total_served += float(served.sum())
+        return served
+
+    def check_conservation(self, tol: float = 1e-6) -> None:
+        """Raise if enqueued != served + backlog (volume leaked somewhere)."""
+        drift = abs(self._total_enqueued - self._total_served - self.backlog)
+        if drift > tol:
+            raise AssertionError(
+                f"VOQ volume conservation violated: enqueued={self._total_enqueued}, "
+                f"served={self._total_served}, backlog={self.backlog}, drift={drift}"
+            )

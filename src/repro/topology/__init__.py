@@ -1,0 +1,13 @@
+"""Multi-layer hybrid fabrics (§4, "Augmenting Hybrid Architectures" /
+"Scaling").
+
+The single-switch model "could be generalized to multi-layer networks of
+switches" (§1); §4 sketches how: connect the OCS spines and the EPS spines
+of a leaf-spine hybrid fabric with composite links.  This package models
+that fabric explicitly and reduces it back to the single-switch
+abstraction the schedulers operate on.
+"""
+
+from repro.topology.leafspine import LeafSpineFabric, LeafSpineParams
+
+__all__ = ["LeafSpineFabric", "LeafSpineParams"]

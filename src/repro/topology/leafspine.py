@@ -1,0 +1,271 @@
+"""Leaf-spine hybrid fabric with optional composite spine links (§4).
+
+Topology (paper §4(a), after Helios/c-Through-style fabrics):
+
+* ``n_leaves`` ToR (leaf) switches, each with
+  ``n_eps_spines`` uplinks of rate ``eps_link_rate`` to electronic packet
+  spines and ``n_ocs_spines`` uplinks of rate ``ocs_link_rate`` to optical
+  circuit spines;
+* optionally ``n_composite_links`` high-bandwidth links between OCS spines
+  and EPS spines — the fabric-level analogue of the cp-Switch's composite
+  paths ("a leaf-spine hybrid solution can be extended by connecting among
+  the OCS and the EPS spines").
+
+The class builds the fabric as a :mod:`networkx` multigraph, answers
+structural questions (path capacities, bisection bandwidth,
+oversubscription), and — the part the schedulers consume — reduces the
+fabric to the equivalent single-switch :class:`~repro.switch.params
+.SwitchParams`:
+
+* the per-leaf EPS capacity is the sum of its EPS uplinks,
+* the per-leaf OCS capacity is one OCS uplink (a leaf holds one circuit at
+  a time in the base model),
+* composite capability requires at least one OCS-spine↔EPS-spine link.
+
+This validates the paper's scaling claim concretely: any demand matrix
+over the leaves can be scheduled with the unmodified single-switch
+algorithms against the reduced parameters, and the simulator's results
+carry over to the fabric as long as the fabric is non-blocking for the
+modeled classes (checked by :meth:`LeafSpineFabric.validate_nonblocking`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.switch.params import SwitchParams
+from repro.utils.validation import check_positive
+
+#: Node-kind attribute values.
+LEAF = "leaf"
+EPS_SPINE = "eps-spine"
+OCS_SPINE = "ocs-spine"
+
+#: Edge-kind attribute values.
+EPS_UPLINK = "eps-uplink"
+OCS_UPLINK = "ocs-uplink"
+COMPOSITE_LINK = "composite-link"
+
+
+@dataclass(frozen=True)
+class LeafSpineParams:
+    """Dimensions and rates of a leaf-spine hybrid fabric.
+
+    Attributes
+    ----------
+    n_leaves:
+        ToR switches (the scheduling "ports").
+    n_eps_spines, n_ocs_spines:
+        Electronic / optical spine switches.
+    eps_link_rate, ocs_link_rate:
+        Leaf-uplink rates (Mb/ms).
+    n_composite_links:
+        OCS-spine↔EPS-spine links (0 = plain hybrid fabric).
+    composite_link_rate:
+        Rate of each composite link; ``None`` = ``ocs_link_rate``.
+    reconfig_delay:
+        OCS spine reconfiguration penalty δ (ms).
+    """
+
+    n_leaves: int
+    n_eps_spines: int = 2
+    n_ocs_spines: int = 1
+    eps_link_rate: float = 5.0
+    ocs_link_rate: float = 100.0
+    n_composite_links: int = 0
+    composite_link_rate: "float | None" = None
+    reconfig_delay: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in ("n_leaves", "n_eps_spines", "n_ocs_spines"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.n_leaves < 2:
+            raise ValueError("a fabric needs at least 2 leaves")
+        check_positive("eps_link_rate", self.eps_link_rate)
+        check_positive("ocs_link_rate", self.ocs_link_rate)
+        if self.n_composite_links < 0:
+            raise ValueError("n_composite_links must be >= 0")
+        if self.composite_link_rate is not None:
+            check_positive("composite_link_rate", self.composite_link_rate)
+
+    @property
+    def effective_composite_rate(self) -> float:
+        return (
+            self.ocs_link_rate
+            if self.composite_link_rate is None
+            else self.composite_link_rate
+        )
+
+
+class LeafSpineFabric:
+    """A concrete leaf-spine hybrid fabric graph."""
+
+    def __init__(self, params: LeafSpineParams) -> None:
+        self.params = params
+        self.graph = self._build(params)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _build(params: LeafSpineParams) -> nx.MultiGraph:
+        graph = nx.MultiGraph()
+        leaves = [f"leaf{i}" for i in range(params.n_leaves)]
+        eps_spines = [f"eps{i}" for i in range(params.n_eps_spines)]
+        ocs_spines = [f"ocs{i}" for i in range(params.n_ocs_spines)]
+        graph.add_nodes_from(leaves, kind=LEAF)
+        graph.add_nodes_from(eps_spines, kind=EPS_SPINE)
+        graph.add_nodes_from(ocs_spines, kind=OCS_SPINE)
+        for leaf in leaves:
+            for spine in eps_spines:
+                graph.add_edge(leaf, spine, kind=EPS_UPLINK, rate=params.eps_link_rate)
+            for spine in ocs_spines:
+                graph.add_edge(leaf, spine, kind=OCS_UPLINK, rate=params.ocs_link_rate)
+        for index in range(params.n_composite_links):
+            ocs = ocs_spines[index % len(ocs_spines)]
+            eps = eps_spines[index % len(eps_spines)]
+            graph.add_edge(
+                ocs, eps, kind=COMPOSITE_LINK, rate=params.effective_composite_rate
+            )
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # structural queries
+    # ------------------------------------------------------------------ #
+
+    def leaves(self) -> "list[str]":
+        return [n for n, d in self.graph.nodes(data=True) if d["kind"] == LEAF]
+
+    def spines(self, kind: str) -> "list[str]":
+        return [n for n, d in self.graph.nodes(data=True) if d["kind"] == kind]
+
+    def edges_of_kind(self, kind: str) -> "list[tuple[str, str, dict]]":
+        return [
+            (u, v, data)
+            for u, v, data in self.graph.edges(data=True)
+            if data["kind"] == kind
+        ]
+
+    @property
+    def has_composite_links(self) -> bool:
+        """Whether the fabric supports composite paths at all."""
+        return bool(self.edges_of_kind(COMPOSITE_LINK))
+
+    def leaf_eps_capacity(self, leaf: "str | int") -> float:
+        """Aggregate EPS uplink capacity of one leaf (Mb/ms)."""
+        leaf = self._leaf_name(leaf)
+        return float(
+            sum(
+                data["rate"]
+                for _u, _v, data in self.graph.edges(leaf, data=True)
+                if data["kind"] == EPS_UPLINK
+            )
+        )
+
+    def leaf_ocs_capacity(self, leaf: "str | int") -> float:
+        """OCS uplink capacity of one leaf — one active circuit (Mb/ms)."""
+        leaf = self._leaf_name(leaf)
+        rates = [
+            data["rate"]
+            for _u, _v, data in self.graph.edges(leaf, data=True)
+            if data["kind"] == OCS_UPLINK
+        ]
+        return float(max(rates)) if rates else 0.0
+
+    def eps_bisection_bandwidth(self) -> float:
+        """EPS-plane bisection bandwidth of the fabric (Mb/ms).
+
+        With uniform uplinks, splitting the leaves in half limits EPS
+        traffic to ``(n_leaves / 2) * Σ per-leaf EPS uplink rate``.
+        """
+        per_leaf = self.leaf_eps_capacity(0)
+        return (self.params.n_leaves / 2.0) * per_leaf
+
+    def oversubscription(self, leaf_downlink_capacity: float) -> float:
+        """Downlink-to-uplink oversubscription ratio of one leaf."""
+        check_positive("leaf_downlink_capacity", leaf_downlink_capacity)
+        uplink = self.leaf_eps_capacity(0) + self.leaf_ocs_capacity(0)
+        return leaf_downlink_capacity / uplink
+
+    def composite_path_hops(self) -> "list[list[str]]":
+        """The OCS→EPS composite routes, as node paths.
+
+        Each composite link yields the one-to-many style route
+        ``leaf* → ocs spine → eps spine → leaf*`` (endpoints elided).
+        """
+        routes = []
+        for ocs, eps, _data in self.edges_of_kind(COMPOSITE_LINK):
+            # Normalize direction: OCS spine first.
+            if self.graph.nodes[ocs]["kind"] != OCS_SPINE:
+                ocs, eps = eps, ocs
+            routes.append([ocs, eps])
+        return routes
+
+    def validate_nonblocking(self) -> None:
+        """Check the reductions' modeling assumptions hold for this fabric.
+
+        The single-switch reduction assumes (i) every leaf pair is
+        connected in the EPS plane, (ii) every leaf reaches some OCS
+        spine, and (iii) composite links (if any) connect the two planes.
+        """
+        leaves = self.leaves()
+        eps_plane = self.graph.edge_subgraph(
+            [
+                (u, v, k)
+                for u, v, k, d in self.graph.edges(keys=True, data=True)
+                if d["kind"] == EPS_UPLINK
+            ]
+        )
+        for leaf in leaves:
+            if leaf not in eps_plane or not any(
+                other in eps_plane and nx.has_path(eps_plane, leaf, other)
+                for other in leaves
+                if other != leaf
+            ):
+                raise ValueError(f"{leaf} is disconnected in the EPS plane")
+        for leaf in leaves:
+            if not any(
+                data["kind"] == OCS_UPLINK
+                for _u, _v, data in self.graph.edges(leaf, data=True)
+            ):
+                raise ValueError(f"{leaf} has no OCS uplink")
+
+    # ------------------------------------------------------------------ #
+    # reduction to the single-switch abstraction
+    # ------------------------------------------------------------------ #
+
+    def equivalent_switch_params(self) -> SwitchParams:
+        """The single-switch :class:`SwitchParams` this fabric emulates.
+
+        ``Ce`` is the leaf's aggregate EPS uplink rate; ``Co`` its OCS
+        uplink rate; δ the OCS spine's reconfiguration penalty.  The
+        composite budget ``Ce*`` stays at the default (no reservation),
+        mirroring the paper's evaluation.
+        """
+        self.validate_nonblocking()
+        return SwitchParams(
+            n_ports=self.params.n_leaves,
+            eps_rate=self.leaf_eps_capacity(0),
+            ocs_rate=self.leaf_ocs_capacity(0),
+            reconfig_delay=self.params.reconfig_delay,
+        )
+
+    def supports_cp_scheduling(self) -> bool:
+        """Whether cp-Switch schedules are executable on this fabric."""
+        return self.has_composite_links
+
+    def _leaf_name(self, leaf: "str | int") -> str:
+        if isinstance(leaf, int):
+            return f"leaf{leaf}"
+        return leaf
+
+    def __repr__(self) -> str:
+        p = self.params
+        return (
+            f"LeafSpineFabric(leaves={p.n_leaves}, eps_spines={p.n_eps_spines}, "
+            f"ocs_spines={p.n_ocs_spines}, composite_links={p.n_composite_links})"
+        )

@@ -1,0 +1,49 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts either a seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy), and
+normalizes it through :func:`ensure_rng`.  Experiments that average over
+many random demand matrices derive independent per-trial generators with
+:func:`spawn_rngs` so results are reproducible regardless of evaluation
+order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def ensure_rng(rng: "int | np.random.Generator | np.random.SeedSequence | None") -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for fresh OS entropy, an ``int`` seed, a
+        :class:`numpy.random.SeedSequence`, or an already-constructed
+        generator (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(rng)
+    raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
+
+
+def spawn_rngs(seed: "int | np.random.SeedSequence | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from one seed.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, so trial *i* sees the same
+    stream whether trials run sequentially, in parallel, or individually.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(count)]

@@ -1,0 +1,52 @@
+"""Unit conventions used throughout the library.
+
+The library works in the paper's natural magnitudes:
+
+* **demand volume** in megabits (Mb),
+* **link rate** in Mb/ms — numerically identical to Gbps
+  (1 Gbps = 10^9 b/s = 10^6 b/ms = 1 Mb/ms),
+* **time** in milliseconds (ms).
+
+With these units the paper's constants read off directly: an EPS port of
+``Ce = 10 Gbps`` is ``10.0`` Mb/ms, the fast-OCS reconfiguration penalty of
+20 microseconds is ``0.02`` ms, and the slow-OCS penalty of 20 ms is
+``20.0``.
+
+Only conversion helpers live here; all other modules assume the canonical
+units above and never convert internally.
+"""
+
+from __future__ import annotations
+
+#: Multiplicative tag for rates expressed in Gbps (== Mb/ms, the canonical
+#: rate unit). ``10 * GBPS`` reads as documentation; the value is 1.0.
+GBPS: float = 1.0
+
+#: One millisecond, the canonical time unit.
+MILLISECONDS: float = 1.0
+
+#: One microsecond expressed in canonical time units.
+MICROSECONDS: float = 1e-3
+
+#: One second expressed in canonical time units.
+SECONDS: float = 1e3
+
+
+def gbps_to_mb_per_ms(rate_gbps: float) -> float:
+    """Convert a rate in Gbps to Mb/ms (a numeric identity, kept explicit)."""
+    return float(rate_gbps)
+
+
+def mb_per_ms_to_gbps(rate: float) -> float:
+    """Convert a rate in Mb/ms to Gbps (a numeric identity, kept explicit)."""
+    return float(rate)
+
+
+def us_to_ms(value_us: float) -> float:
+    """Convert microseconds to the canonical millisecond unit."""
+    return float(value_us) * MICROSECONDS
+
+
+def ms_to_us(value_ms: float) -> float:
+    """Convert canonical milliseconds to microseconds."""
+    return float(value_ms) / MICROSECONDS

@@ -1,0 +1,80 @@
+"""Input validation helpers shared by the scheduling and simulation layers.
+
+All validators raise :class:`ValueError` (never assert) so that misuse of
+the public API fails loudly in optimized runs too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Absolute tolerance for "is this demand fully drained" style comparisons,
+#: in Mb.  One kilobit of residual demand is far below anything the paper's
+#: workloads can distinguish.
+VOLUME_TOL: float = 1e-9
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite, strictly positive scalar."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite, non-negative scalar."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value}")
+    return value
+
+
+def check_demand_matrix(demand: np.ndarray, *, square: bool = True) -> np.ndarray:
+    """Validate and canonicalize a demand matrix.
+
+    Returns a C-contiguous float64 copy so callers may mutate it freely.
+
+    Parameters
+    ----------
+    demand:
+        2-D array of non-negative, finite demand volumes (Mb).
+    square:
+        Require the matrix to be square (the switch model is n×n).
+    """
+    arr = np.asarray(demand, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"demand matrix must be 2-D, got shape {arr.shape}")
+    if square and arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"demand matrix must be square, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError("demand matrix must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("demand matrix contains non-finite entries")
+    if np.any(arr < 0):
+        raise ValueError("demand matrix contains negative entries")
+    return np.ascontiguousarray(arr, dtype=np.float64).copy()
+
+
+def check_permutation(perm: np.ndarray, *, partial: bool = True) -> np.ndarray:
+    """Validate a (possibly partial) permutation matrix.
+
+    A permutation matrix here is a 0/1 square matrix with at most one 1 per
+    row and per column; with ``partial=False`` exactly one per row/column is
+    required.
+    """
+    arr = np.asarray(perm)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"permutation must be square 2-D, got shape {arr.shape}")
+    values = np.unique(arr)
+    if not np.all(np.isin(values, (0, 1))):
+        raise ValueError("permutation entries must be 0 or 1")
+    rows = arr.sum(axis=1)
+    cols = arr.sum(axis=0)
+    if partial:
+        if np.any(rows > 1) or np.any(cols > 1):
+            raise ValueError("partial permutation has a row or column with >1 entry")
+    else:
+        if np.any(rows != 1) or np.any(cols != 1):
+            raise ValueError("full permutation must have exactly one entry per row/column")
+    return np.ascontiguousarray(arr, dtype=np.int8)

@@ -1,0 +1,110 @@
+"""Arrival processes for closed-loop (multi-epoch) operation.
+
+The :class:`~repro.analysis.controller.EpochController` consumes an
+*arrival process* — a callable mapping the epoch index to a demand-matrix
+increment.  This module provides composable processes built on the §3
+workload generators:
+
+* :class:`WorkloadArrivals` — one workload draw per epoch (deterministic
+  per-epoch seeding, so runs are reproducible and comparable across
+  controllers);
+* :class:`PoissonArrivals` — a Poisson-distributed *number* of workload
+  draws per epoch (bursty job arrivals);
+* :class:`OnOffArrivals` — periodic ON/OFF modulation of another process
+  (tide-like load).
+
+All compose: ``OnOffArrivals(PoissonArrivals(...))`` gives bursty tides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class WorkloadArrivals:
+    """One workload draw per epoch.
+
+    Parameters
+    ----------
+    workload:
+        Any :class:`~repro.workloads.base.Workload`.
+    n_ports:
+        Switch radix the matrices are drawn for.
+    seed:
+        Root seed; epoch ``e`` uses the independent stream ``(seed, e)``,
+        so two controllers replaying the same process see identical
+        arrivals.
+    intensity:
+        Volume multiplier applied to every draw (load knob).
+    """
+
+    workload: Workload
+    n_ports: int
+    seed: int = 0
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_nonnegative("intensity", self.intensity)
+
+    def __call__(self, epoch: int) -> np.ndarray:
+        rng = np.random.default_rng(np.random.SeedSequence((self.seed, epoch)))
+        spec = self.workload.generate(self.n_ports, rng)
+        return spec.demand * self.intensity
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Poisson-many workload draws per epoch (bursty job arrivals).
+
+    ``mean_per_epoch`` is the expected number of draws; epochs with zero
+    arrivals produce an all-zero matrix.
+    """
+
+    workload: Workload
+    n_ports: int
+    mean_per_epoch: float = 1.0
+    seed: int = 0
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_nonnegative("mean_per_epoch", self.mean_per_epoch)
+        check_nonnegative("intensity", self.intensity)
+
+    def __call__(self, epoch: int) -> np.ndarray:
+        rng = np.random.default_rng(np.random.SeedSequence((self.seed, epoch)))
+        count = int(rng.poisson(self.mean_per_epoch))
+        total = np.zeros((self.n_ports, self.n_ports))
+        for _ in range(count):
+            total += self.workload.generate(self.n_ports, rng).demand
+        return total * self.intensity
+
+
+@dataclass(frozen=True)
+class OnOffArrivals:
+    """Periodic ON/OFF gate over another arrival process.
+
+    Epoch ``e`` is ON when ``(e % period) < on_epochs``.
+    """
+
+    base: "WorkloadArrivals | PoissonArrivals"
+    period: int = 4
+    on_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1, got {self.period}")
+        if not (0 <= self.on_epochs <= self.period):
+            raise ValueError(
+                f"on_epochs must be in [0, period={self.period}], got {self.on_epochs}"
+            )
+
+    def __call__(self, epoch: int) -> np.ndarray:
+        if (epoch % self.period) < self.on_epochs:
+            return self.base(epoch)
+        return np.zeros((self.base.n_ports, self.base.n_ports))

@@ -1,0 +1,67 @@
+"""Combined demand: typical background + skewed coflows (§3.3 / §3.4).
+
+The paper's main experiments superpose the §3.3 background demand and the
+§3.2 one-to-many/many-to-one demand; §3.4 swaps in the intensive (4×
+density) background.  This module composes the two generators and keeps the
+skewed-entry provenance, so the figures can report the o2m/m2o coflow
+completion separately.
+
+Background flows avoid the skewed senders' rows and receivers' columns.
+Two paper diagnostics pin this down: §3.3 reports that the reduction
+removes ≈ 1.63·n non-zero entries — essentially the whole skewed fan-out
+(≈ 0.85·n per direction), which requires background/skew cell collisions
+to be rare (a colliding mouse pushes the merged cell above ``Bt``,
+dropping it from the filter); and every reported o2m/m2o completion
+improves, whereas collisions produce uncaptured stragglers that regress
+the coflow completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.switch.params import SwitchParams
+from repro.workloads.background import TypicalBackgroundWorkload
+from repro.workloads.base import DemandSpec, merge_specs, volume_scale_for
+from repro.workloads.skewed import SkewedWorkload
+
+
+@dataclass(frozen=True)
+class CombinedWorkload:
+    """Background + skewed demand, generated from one RNG stream."""
+
+    background: TypicalBackgroundWorkload = field(default_factory=TypicalBackgroundWorkload)
+    skewed: SkewedWorkload = field(default_factory=SkewedWorkload)
+
+    @classmethod
+    def typical(cls, params: SwitchParams, **skew_kwargs) -> "CombinedWorkload":
+        """§3.3: typical background + one o2m sender and one m2o receiver."""
+        scale = volume_scale_for(params)
+        return cls(
+            background=TypicalBackgroundWorkload(volume_scale=scale),
+            skewed=SkewedWorkload(volume_scale=scale, **skew_kwargs),
+        )
+
+    @classmethod
+    def intensive(
+        cls, params: SwitchParams, factor: int = 4, **skew_kwargs
+    ) -> "CombinedWorkload":
+        """§3.4: 4×-density background + one o2m sender and one m2o receiver."""
+        scale = volume_scale_for(params)
+        return cls(
+            background=TypicalBackgroundWorkload(volume_scale=scale).intensive(factor),
+            skewed=SkewedWorkload(volume_scale=scale, **skew_kwargs),
+        )
+
+    def generate(self, n_ports: int, rng: np.random.Generator) -> DemandSpec:
+        """Draw background and skewed components and superpose them."""
+        skewed_spec = self.skewed.generate(n_ports, rng)
+        background_spec = self.background.generate_excluding(
+            n_ports,
+            rng,
+            excluded_senders=skewed_spec.o2m_senders,
+            excluded_destinations=skewed_spec.m2o_receivers,
+        )
+        return merge_specs(background_spec, skewed_spec)

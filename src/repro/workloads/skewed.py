@@ -1,0 +1,138 @@
+"""One-to-many / many-to-one demand model (§3.2).
+
+"We randomly choose a single sender for which we create one-to-many traffic
+and a single receiver for which we create many-to-one traffic. ... The
+number of destinations for the sender and the number of sources for the
+receiver are chosen randomly and uniformly in the range of [0.7·n, n].  The
+demand towards each destination of the sender and each source of the
+receiver is chosen randomly and uniformly in the range of [1, 1.3] Mb for
+Fast OCS and [100, 130] Mb for Slow OCS."
+
+Based on the DCN measurements behind DCTCP and TCP Outcast (incast /
+outcast patterns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.switch.params import SwitchParams
+from repro.workloads.base import DemandSpec, volume_scale_for
+
+
+@dataclass(frozen=True)
+class SkewedWorkload:
+    """Generator of pure one-to-many + many-to-one demand.
+
+    Parameters
+    ----------
+    n_senders, n_receivers:
+        Number of one-to-many senders / many-to-one receivers (1 each in
+        §3.2; §3.5 sweeps them together from 1 to 6).
+    fanout_range:
+        Fan-out as a fraction of the radix, drawn uniformly per coflow
+        (paper: [0.7, 1.0]).
+    volume_range:
+        Per-entry demand range in Mb **before** scaling (paper:
+        [1.0, 1.3]).
+    volume_scale:
+        1.0 for the fast OCS, 100.0 for the slow OCS.
+    """
+
+    n_senders: int = 1
+    n_receivers: int = 1
+    fanout_range: "tuple[float, float]" = (0.7, 1.0)
+    volume_range: "tuple[float, float]" = (1.0, 1.3)
+    volume_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_senders < 0 or self.n_receivers < 0:
+            raise ValueError("n_senders and n_receivers must be non-negative")
+        lo, hi = self.fanout_range
+        if not (0.0 < lo <= hi <= 1.0):
+            raise ValueError(f"fanout_range must satisfy 0 < lo <= hi <= 1, got {self.fanout_range}")
+        lo, hi = self.volume_range
+        if not (0.0 < lo <= hi):
+            raise ValueError(f"volume_range must satisfy 0 < lo <= hi, got {self.volume_range}")
+        if self.volume_scale <= 0:
+            raise ValueError(f"volume_scale must be positive, got {self.volume_scale}")
+
+    @classmethod
+    def for_params(cls, params: SwitchParams, **kwargs) -> "SkewedWorkload":
+        """Paper configuration for this switch's OCS class."""
+        return cls(volume_scale=volume_scale_for(params), **kwargs)
+
+    # ------------------------------------------------------------------ #
+
+    def generate(self, n_ports: int, rng: np.random.Generator) -> DemandSpec:
+        """Draw one skewed demand matrix."""
+        n = int(n_ports)
+        if self.n_senders + self.n_receivers > n:
+            raise ValueError(
+                f"{self.n_senders} senders + {self.n_receivers} receivers exceed radix {n}"
+            )
+        demand = np.zeros((n, n), dtype=np.float64)
+        o2m_mask = np.zeros((n, n), dtype=bool)
+        m2o_mask = np.zeros((n, n), dtype=bool)
+
+        # Distinct ports so coflows do not collapse onto one another; the
+        # sender set and receiver set are drawn independently (a port may
+        # host both a one-to-many source and a many-to-one sink).  The two
+        # coflow kinds stay on disjoint matrix cells: an o2m destination is
+        # never an m2o receiver and vice versa, otherwise the shared cell
+        # would carry both volumes and exceed the Bt filter the paper
+        # sizes for single entries.
+        senders = rng.choice(n, size=self.n_senders, replace=False)
+        receivers = rng.choice(n, size=self.n_receivers, replace=False)
+
+        for sender in senders.tolist():
+            fanout = self._draw_fanout(n, rng, reserved=1 + receivers.size)
+            targets = self._draw_peers(
+                n, exclude=[sender, *receivers.tolist()], count=fanout, rng=rng
+            )
+            volumes = self._draw_volumes(targets.size, rng)
+            demand[sender, targets] += volumes
+            o2m_mask[sender, targets] = True
+
+        for receiver in receivers.tolist():
+            fanin = self._draw_fanout(n, rng, reserved=1)
+            sources = self._draw_peers(n, exclude=[receiver], count=fanin, rng=rng)
+            volumes = self._draw_volumes(sources.size, rng)
+            demand[sources, receiver] += volumes
+            m2o_mask[sources, receiver] = True
+
+        return DemandSpec(
+            demand=demand,
+            skewed_mask=o2m_mask | m2o_mask,
+            o2m_mask=o2m_mask,
+            m2o_mask=m2o_mask,
+            o2m_senders=tuple(int(s) for s in senders),
+            m2o_receivers=tuple(int(r) for r in receivers),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _draw_fanout(self, n: int, rng: np.random.Generator, reserved: int) -> int:
+        # Ceil on the lower end keeps the minimum fan-out at or above the
+        # same-β filter threshold Rt = ceil(β·n), so a coflow drawn at the
+        # bottom of the range still qualifies for a composite path.
+        lo = int(np.ceil(self.fanout_range[0] * n))
+        hi = int(np.floor(self.fanout_range[1] * n))
+        hi = min(hi, n - reserved)  # self plus any excluded peer ports
+        lo = min(lo, hi)
+        if hi < 1:
+            raise ValueError(f"radix {n} too small for the requested coflow layout")
+        return int(rng.integers(lo, hi + 1))
+
+    @staticmethod
+    def _draw_peers(
+        n: int, exclude: "list[int]", count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        peers = np.setdiff1d(np.arange(n), np.asarray(exclude, dtype=int))
+        return rng.choice(peers, size=count, replace=False)
+
+    def _draw_volumes(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        lo, hi = self.volume_range
+        return rng.uniform(lo, hi, size=count) * self.volume_scale

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.switch.params import SwitchParams, fast_ocs_params, slow_ocs_params
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator; tests that need variation spawn their own."""
+    return np.random.default_rng(20161212)  # CoNEXT'16 opening day
+
+
+@pytest.fixture
+def fast_params() -> SwitchParams:
+    """Paper's fast-OCS switch at a small test radix."""
+    return fast_ocs_params(8)
+
+
+@pytest.fixture
+def slow_params() -> SwitchParams:
+    """Paper's slow-OCS switch at a small test radix."""
+    return slow_ocs_params(8)
+
+
+@pytest.fixture
+def sparse_demand(rng: np.random.Generator) -> np.ndarray:
+    """A small random sparse demand matrix (Mb)."""
+    demand = rng.uniform(0.5, 5.0, size=(8, 8))
+    demand *= rng.random((8, 8)) < 0.4
+    return demand
+
+
+@pytest.fixture
+def skewed_demand() -> np.ndarray:
+    """8-port demand with one one-to-many row and one many-to-one column."""
+    demand = np.zeros((8, 8))
+    demand[0, 1:8] = 1.2  # one-to-many from port 0
+    demand[0:7, 7] += 1.1  # many-to-one into port 7
+    return demand
+
+
+@pytest.fixture
+def skewed_demand16() -> np.ndarray:
+    """16-port skewed demand.
+
+    At radix 16 the composite path's OCS leg saturates (fan-out × Ce >= Co),
+    which is the regime the paper evaluates (n >= 32); radix-8 composite
+    paths are EPS-bound and do not exhibit the paper's speedups.
+    """
+    demand = np.zeros((16, 16))
+    demand[0, 1:15] = 1.2  # one-to-many from port 0, fan-out 14
+    demand[1:15, 15] += 1.1  # many-to-one into port 15, fan-in 14
+    return demand

@@ -1,0 +1,85 @@
+"""Tests for the closed-loop epoch controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hybrid.solstice import SolsticeScheduler
+from repro.analysis.controller import EpochController
+from repro.switch.params import fast_ocs_params
+
+
+def skew_arrivals(n: int):
+    """Arrival process: a one-to-many burst every epoch."""
+    def arrivals(epoch: int) -> np.ndarray:
+        rng = np.random.default_rng(1000 + epoch)
+        demand = np.zeros((n, n))
+        sender = epoch % n
+        targets = rng.choice(np.setdiff1d(np.arange(n), [sender]), size=int(0.8 * n), replace=False)
+        demand[sender, targets] = rng.uniform(1.0, 1.3, targets.size)
+        return demand
+
+    return arrivals
+
+
+class TestEpochController:
+    def test_offer_enqueues(self):
+        controller = EpochController(fast_ocs_params(8), SolsticeScheduler())
+        arrivals = np.zeros((8, 8))
+        arrivals[0, 1] = 4.0
+        offered = controller.offer(arrivals)
+        assert offered == 4.0
+        assert controller.voqs.backlog == pytest.approx(4.0)
+
+    def test_offer_shape_checked(self):
+        controller = EpochController(fast_ocs_params(8), SolsticeScheduler())
+        with pytest.raises(ValueError):
+            controller.offer(np.zeros((4, 4)))
+
+    def test_single_epoch_drains_backlog(self):
+        controller = EpochController(fast_ocs_params(16), SolsticeScheduler())
+        controller.offer(skew_arrivals(16)(0))
+        report, result = controller.run_epoch()
+        assert report.kept_up
+        assert controller.voqs.backlog == pytest.approx(0.0, abs=1e-6)
+        assert report.completion_time == result.completion_time
+
+    def test_multi_epoch_run(self):
+        controller = EpochController(fast_ocs_params(16), SolsticeScheduler())
+        reports = controller.run(skew_arrivals(16), n_epochs=3)
+        assert len(reports) == 3
+        assert [r.epoch for r in reports] == [0, 1, 2]
+        assert all(r.kept_up for r in reports)
+        controller.voqs.check_conservation()
+
+    def test_cp_controller_outpaces_h_controller(self):
+        n = 32
+        arrivals = skew_arrivals(n)
+        h_controller = EpochController(fast_ocs_params(n), SolsticeScheduler())
+        cp_controller = EpochController(
+            fast_ocs_params(n), SolsticeScheduler(), use_composite_paths=True
+        )
+        h_reports = h_controller.run(arrivals, n_epochs=2)
+        cp_reports = cp_controller.run(arrivals, n_epochs=2)
+        for h_report, cp_report in zip(h_reports, cp_reports):
+            assert cp_report.completion_time < h_report.completion_time
+            assert cp_report.n_configs < h_report.n_configs
+
+    def test_empty_epoch(self):
+        controller = EpochController(fast_ocs_params(8), SolsticeScheduler())
+        report, _result = controller.run_epoch()
+        assert report.offered_volume == 0.0
+        assert report.completion_time == 0.0
+        assert report.kept_up
+
+    def test_rejects_zero_epochs(self):
+        controller = EpochController(fast_ocs_params(8), SolsticeScheduler())
+        with pytest.raises(ValueError):
+            controller.run(skew_arrivals(8), n_epochs=0)
+
+    def test_total_served_accumulates(self):
+        controller = EpochController(fast_ocs_params(16), SolsticeScheduler())
+        reports = controller.run(skew_arrivals(16), n_epochs=2)
+        total_offered = sum(r.offered_volume for r in reports)
+        assert controller.voqs.total_served == pytest.approx(total_offered, rel=1e-9)

@@ -1,0 +1,137 @@
+"""Round-trip tests for schedule/result serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiment import ExperimentConfig, run_comparison
+from repro.analysis.io import (
+    comparison_to_dict,
+    cp_schedule_from_dict,
+    cp_schedule_to_dict,
+    load_json,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.core.scheduler import CpSwitchScheduler
+from repro.hybrid.solstice import SolsticeScheduler
+from repro.sim import simulate_cp, simulate_hybrid
+from repro.switch.params import fast_ocs_params
+from repro.workloads.skewed import SkewedWorkload
+
+
+@pytest.fixture
+def params():
+    return fast_ocs_params(16)
+
+
+@pytest.fixture
+def h_schedule(params, skewed_demand16):
+    return SolsticeScheduler().schedule(skewed_demand16, params)
+
+
+@pytest.fixture
+def cp_schedule(params, skewed_demand16):
+    return CpSwitchScheduler(SolsticeScheduler()).schedule(skewed_demand16, params)
+
+
+class TestScheduleRoundTrip:
+    def test_dict_round_trip(self, h_schedule):
+        restored = schedule_from_dict(schedule_to_dict(h_schedule))
+        assert restored.n_configs == h_schedule.n_configs
+        assert restored.reconfig_delay == h_schedule.reconfig_delay
+        for a, b in zip(restored, h_schedule):
+            assert a.duration == pytest.approx(b.duration)
+            np.testing.assert_array_equal(a.permutation, b.permutation)
+
+    def test_simulation_equivalence(self, params, skewed_demand16, h_schedule):
+        restored = schedule_from_dict(schedule_to_dict(h_schedule))
+        original = simulate_hybrid(skewed_demand16, h_schedule, params)
+        replayed = simulate_hybrid(skewed_demand16, restored, params)
+        assert replayed.completion_time == pytest.approx(original.completion_time)
+
+    def test_file_round_trip(self, tmp_path, h_schedule):
+        path = save_json(schedule_to_dict(h_schedule), tmp_path / "schedule.json")
+        restored = schedule_from_dict(load_json(path))
+        assert restored.n_configs == h_schedule.n_configs
+
+    def test_empty_schedule(self):
+        from repro.hybrid.schedule import Schedule
+
+        empty = Schedule(entries=(), reconfig_delay=0.02)
+        restored = schedule_from_dict(schedule_to_dict(empty))
+        assert restored.n_configs == 0
+
+    def test_type_mismatch_rejected(self, h_schedule):
+        payload = schedule_to_dict(h_schedule)
+        payload["type"] = "other"
+        with pytest.raises(ValueError):
+            schedule_from_dict(payload)
+
+    def test_version_mismatch_rejected(self, h_schedule):
+        payload = schedule_to_dict(h_schedule)
+        payload["format"] = 99
+        with pytest.raises(ValueError):
+            schedule_from_dict(payload)
+
+
+class TestCpScheduleRoundTrip:
+    def test_dict_round_trip(self, cp_schedule):
+        restored = cp_schedule_from_dict(cp_schedule_to_dict(cp_schedule))
+        assert restored.n_configs == cp_schedule.n_configs
+        np.testing.assert_allclose(
+            restored.reduction.reduced, cp_schedule.reduction.reduced
+        )
+        np.testing.assert_allclose(
+            restored.filtered_residual, cp_schedule.filtered_residual
+        )
+        for a, b in zip(restored.entries, cp_schedule.entries):
+            assert a.o2m_port == b.o2m_port
+            assert a.m2o_port == b.m2o_port
+            np.testing.assert_allclose(a.composite_served, b.composite_served)
+
+    def test_simulation_equivalence(self, params, skewed_demand16, cp_schedule):
+        restored = cp_schedule_from_dict(cp_schedule_to_dict(cp_schedule))
+        original = simulate_cp(skewed_demand16, cp_schedule, params)
+        replayed = simulate_cp(skewed_demand16, restored, params)
+        assert replayed.completion_time == pytest.approx(original.completion_time)
+        assert replayed.served_composite == pytest.approx(original.served_composite)
+
+    def test_file_round_trip(self, tmp_path, cp_schedule):
+        path = save_json(cp_schedule_to_dict(cp_schedule), tmp_path / "cp.json")
+        restored = cp_schedule_from_dict(load_json(path))
+        assert restored.reduction.fanout_threshold == cp_schedule.reduction.fanout_threshold
+
+
+class TestComparisonSerialization:
+    def test_flattens_all_metrics(self):
+        params = fast_ocs_params(16)
+        result = run_comparison(
+            ExperimentConfig(
+                workload=SkewedWorkload.for_params(params),
+                params=params,
+                scheduler="solstice",
+                n_trials=1,
+                seed=0,
+            )
+        )
+        payload = comparison_to_dict(result)
+        assert payload["n_ports"] == 16
+        assert payload["h"]["completion_total"]["count"] == 1
+        assert payload["cp"]["configs"]["mean"] <= payload["h"]["configs"]["mean"]
+
+    def test_json_serializable(self, tmp_path):
+        params = fast_ocs_params(16)
+        result = run_comparison(
+            ExperimentConfig(
+                workload=SkewedWorkload.for_params(params),
+                params=params,
+                scheduler="solstice",
+                n_trials=1,
+                seed=0,
+            )
+        )
+        path = save_json(comparison_to_dict(result), tmp_path / "cmp.json")
+        assert load_json(path)["type"] == "comparison"

@@ -1,0 +1,122 @@
+"""Tests for scheduling under imperfect demand estimates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.robustness import (
+    perturb_demand,
+    robustness_trial,
+    simulate_with_estimate,
+)
+from repro.core.scheduler import CpSwitchScheduler
+from repro.hybrid.solstice import SolsticeScheduler
+from repro.sim import simulate_cp
+from repro.switch.params import fast_ocs_params
+
+
+class TestPerturbDemand:
+    def test_exact_when_no_errors(self, sparse_demand):
+        estimate = perturb_demand(sparse_demand, np.random.default_rng(0))
+        np.testing.assert_allclose(estimate, sparse_demand)
+
+    def test_staleness_scales_down(self, sparse_demand):
+        estimate = perturb_demand(
+            sparse_demand, np.random.default_rng(0), staleness=0.3
+        )
+        np.testing.assert_allclose(estimate, 0.7 * sparse_demand)
+
+    def test_noise_bounded(self, sparse_demand):
+        estimate = perturb_demand(sparse_demand, np.random.default_rng(0), noise=0.2)
+        mask = sparse_demand > 0
+        ratio = estimate[mask] / sparse_demand[mask]
+        assert (ratio >= 0.8 - 1e-12).all() and (ratio <= 1.2 + 1e-12).all()
+
+    def test_miss_rate_zeroes_entries(self, sparse_demand):
+        estimate = perturb_demand(
+            sparse_demand, np.random.default_rng(0), miss_rate=1.0
+        )
+        assert estimate.sum() == 0.0
+
+    def test_never_negative(self, sparse_demand):
+        estimate = perturb_demand(
+            sparse_demand, np.random.default_rng(1), noise=0.9, staleness=0.5
+        )
+        assert (estimate >= 0).all()
+
+    def test_invalid_params_rejected(self, sparse_demand):
+        with pytest.raises(ValueError):
+            perturb_demand(sparse_demand, staleness=1.0)
+        with pytest.raises(ValueError):
+            perturb_demand(sparse_demand, miss_rate=1.5)
+        with pytest.raises(ValueError):
+            perturb_demand(sparse_demand, noise=-0.1)
+
+
+class TestSimulateWithEstimate:
+    def test_exact_estimate_matches_normal_path(self, skewed_demand16):
+        params = fast_ocs_params(16)
+        cp_schedule = CpSwitchScheduler(SolsticeScheduler()).schedule(
+            skewed_demand16, params
+        )
+        direct = simulate_cp(skewed_demand16, cp_schedule, params)
+        via_estimate = simulate_with_estimate(skewed_demand16, cp_schedule, params)
+        assert via_estimate.completion_time == pytest.approx(direct.completion_time)
+        assert via_estimate.served_composite == pytest.approx(direct.served_composite)
+
+    def test_overestimate_does_not_break_conservation(self, skewed_demand16):
+        params = fast_ocs_params(16)
+        inflated = skewed_demand16 * 1.5  # scheduler thinks there is more
+        cp_schedule = CpSwitchScheduler(SolsticeScheduler()).schedule(inflated, params)
+        result = simulate_with_estimate(skewed_demand16, cp_schedule, params)
+        result.check_conservation()
+        assert result.finished
+
+    def test_missed_demand_still_served(self, skewed_demand16):
+        # The estimator misses the m2o column; those entries drain via the
+        # regular paths anyway.
+        params = fast_ocs_params(16)
+        estimate = skewed_demand16.copy()
+        estimate[:, 15] = 0.0
+        cp_schedule = CpSwitchScheduler(SolsticeScheduler()).schedule(estimate, params)
+        result = simulate_with_estimate(skewed_demand16, cp_schedule, params)
+        result.check_conservation()
+        assert result.finished
+
+
+class TestRobustnessTrial:
+    def test_zero_error_reproduces_clean_gap(self, skewed_demand16):
+        params = fast_ocs_params(16)
+        h_result, cp_result = robustness_trial(
+            skewed_demand16, SolsticeScheduler(), params, np.random.default_rng(0)
+        )
+        assert cp_result.completion_time < h_result.completion_time
+
+    def test_moderate_staleness_keeps_cp_ahead(self, skewed_demand16):
+        params = fast_ocs_params(16)
+        h_result, cp_result = robustness_trial(
+            skewed_demand16,
+            SolsticeScheduler(),
+            params,
+            np.random.default_rng(0),
+            staleness=0.2,
+            noise=0.1,
+        )
+        assert cp_result.completion_time < h_result.completion_time
+        cp_result.check_conservation()
+
+    def test_blind_estimator_degrades_to_eps(self, skewed_demand16):
+        params = fast_ocs_params(16)
+        h_result, cp_result = robustness_trial(
+            skewed_demand16,
+            SolsticeScheduler(),
+            params,
+            np.random.default_rng(0),
+            miss_rate=1.0,
+        )
+        assert h_result.n_configs == 0
+        assert h_result.completion_time == pytest.approx(
+            cp_result.completion_time
+        )
+        assert h_result.finished

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCompareCommand:
+    def test_compare_skewed(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--workload",
+                "skewed",
+                "--radix",
+                "16",
+                "--trials",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "h-Switch" in out and "cp-Switch" in out
+        assert "completion total (ms)" in out
+
+    def test_compare_eclipse_slow(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--workload",
+                "skewed",
+                "--scheduler",
+                "eclipse",
+                "--ocs",
+                "slow",
+                "--radix",
+                "16",
+                "--trials",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "OCS fraction" in capsys.readouterr().out
+
+
+class TestWorkloadCommand:
+    def test_writes_npy(self, tmp_path, capsys):
+        out = tmp_path / "demand.npy"
+        code = main(
+            ["workload", "--workload", "typical", "--radix", "16", "--out", str(out)]
+        )
+        assert code == 0
+        demand = np.load(out)
+        assert demand.shape == (16, 16)
+        assert demand.sum() > 0
+
+    def test_writes_csv(self, tmp_path):
+        out = tmp_path / "demand.csv"
+        assert main(["workload", "--radix", "8", "--out", str(out)]) == 0
+        demand = np.loadtxt(out, delimiter=",")
+        assert demand.shape == (8, 8)
+
+    def test_rejects_unknown_extension(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["workload", "--radix", "8", "--out", str(tmp_path / "demand.txt")])
+
+
+class TestScheduleCommand:
+    def test_schedule_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "demand.npy"
+        main(["workload", "--workload", "skewed", "--radix", "16", "--out", str(out)])
+        capsys.readouterr()
+        code = main(["schedule", str(out), "--switch", "cp"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "cp-Switch / solstice" in text
+        assert "completion" in text
+        assert "o2m@" in text or "m2o@" in text
+
+    def test_schedule_h_switch(self, tmp_path, capsys):
+        out = tmp_path / "demand.npy"
+        main(["workload", "--workload", "skewed", "--radix", "16", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["schedule", str(out), "--switch", "h"]) == 0
+        assert "h-Switch / solstice" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--workload", "nope"])
+
+
+class TestFigureCommand:
+    def test_fig5_tiny(self, capsys):
+        code = main(["figure", "fig5", "--radices", "16", "--trials", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "h total (ms)" in out and "cp configs" in out
+
+    def test_fig6_utilization_columns(self, capsys):
+        code = main(["figure", "fig6", "--radices", "16", "--trials", "1"])
+        assert code == 0
+        assert "OCS fraction" in capsys.readouterr().out
+
+    def test_fig11_has_k_column(self, capsys):
+        code = main(["figure", "fig11", "--radices", "16", "--trials", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "| k |" in out or " k |" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])

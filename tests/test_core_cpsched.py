@@ -1,0 +1,135 @@
+"""Tests for Algorithm 2 — CPSched (scheduling within a composite path)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cpsched import composite_path_rate, cpsched, cpsched_with_served
+
+
+class TestFigure3Example:
+    """The paper's CPSched walk-through (Figure 3).
+
+    A one-to-many composite path is granted for 3 time slots; it can serve
+    up to 3 packets from each non-zero entry of the gray row [5, 3, 6], so
+    only the first and third entries keep packets: [2, 0, 3].
+    """
+
+    def test_residuals_match_figure(self):
+        demands = np.array([5.0, 3.0, 6.0])
+        # "up to 3 packets from each entry" => per-entry rate 1 packet/slot:
+        # Ce = 1, and Co large enough not to bind (Co/Rc >= 1).
+        remaining = cpsched(demands, duration=3.0, ocs_rate=10.0, eps_rate=1.0)
+        np.testing.assert_allclose(remaining, [2.0, 0.0, 3.0])
+
+    def test_with_zero_entries_interleaved(self):
+        demands = np.array([0.0, 5.0, 0.0, 3.0, 6.0, 0.0])
+        remaining = cpsched(demands, duration=3.0, ocs_rate=10.0, eps_rate=1.0)
+        np.testing.assert_allclose(remaining, [0.0, 2.0, 0.0, 0.0, 3.0, 0.0])
+
+
+class TestRatePolicy:
+    def test_eps_limited_when_few_endpoints(self):
+        # 2 endpoints, Co/Rc = 50 >> Ce = 10: per-endpoint rate is Ce.
+        demands = np.array([10.0, 10.0])
+        remaining = cpsched(demands, duration=0.5, ocs_rate=100.0, eps_rate=10.0)
+        np.testing.assert_allclose(remaining, [5.0, 5.0])
+
+    def test_ocs_limited_when_many_endpoints(self):
+        # 20 endpoints: Co/Rc = 5 < Ce = 10 -> rate 5 each.
+        demands = np.full(20, 10.0)
+        remaining = cpsched(demands, duration=1.0, ocs_rate=100.0, eps_rate=10.0)
+        np.testing.assert_allclose(remaining, np.full(20, 5.0))
+
+    def test_rate_rises_as_endpoints_drain(self):
+        # Start OCS-limited with 4 endpoints (rate 2.5); when the small one
+        # finishes the rest speed up to min(10, 10/3) = 10/3.
+        demands = np.array([2.5, 10.0, 10.0, 10.0])
+        remaining = cpsched(demands, duration=2.0, ocs_rate=10.0, eps_rate=10.0)
+        # Phase 1: 1 ms at 2.5 each drains entry 0. Phase 2: 1 ms at 10/3.
+        np.testing.assert_allclose(remaining, [0.0, 7.5 - 10 / 3, 7.5 - 10 / 3, 7.5 - 10 / 3])
+
+    def test_zero_duration_serves_nothing(self):
+        demands = np.array([1.0, 2.0])
+        np.testing.assert_allclose(cpsched(demands, 0.0, 100.0, 10.0), demands)
+
+    def test_all_drained_before_duration_ends(self):
+        demands = np.array([1.0, 1.0])
+        remaining = cpsched(demands, duration=100.0, ocs_rate=100.0, eps_rate=10.0)
+        np.testing.assert_allclose(remaining, [0.0, 0.0])
+
+    def test_never_negative(self):
+        rng = np.random.default_rng(3)
+        demands = rng.uniform(0, 5, 30)
+        remaining = cpsched(demands, 1.7, 100.0, 10.0)
+        assert (remaining >= 0).all()
+
+    def test_monotone_in_duration(self):
+        demands = np.array([4.0, 2.0, 7.0, 1.0])
+        previous = demands.copy()
+        for duration in (0.1, 0.2, 0.5, 1.0, 2.0):
+            current = cpsched(demands, duration, 20.0, 5.0)
+            assert (current <= previous + 1e-12).all()
+            previous = current
+
+    def test_input_not_mutated(self):
+        demands = np.array([4.0, 2.0])
+        cpsched(demands, 1.0, 100.0, 10.0)
+        np.testing.assert_allclose(demands, [4.0, 2.0])
+
+
+class TestServedTimeline:
+    def test_segments_partition_used_time(self):
+        demands = np.array([2.5, 10.0, 10.0, 10.0])
+        remaining, segments = cpsched_with_served(demands, 2.0, 10.0, 10.0)
+        assert segments[0].start == 0.0
+        for before, after in zip(segments, segments[1:]):
+            assert after.start == pytest.approx(before.end)
+        assert segments[-1].end == pytest.approx(2.0)
+
+    def test_segments_reconstruct_served_volume(self):
+        demands = np.array([2.5, 10.0, 10.0, 10.0])
+        remaining, segments = cpsched_with_served(demands, 2.0, 10.0, 10.0)
+        reconstructed = np.zeros_like(demands)
+        for segment in segments:
+            reconstructed[segment.active] += segment.rate * (segment.end - segment.start)
+        np.testing.assert_allclose(demands - remaining, reconstructed)
+
+    def test_matches_plain_cpsched(self):
+        rng = np.random.default_rng(11)
+        demands = rng.uniform(0, 8, 12) * (rng.random(12) < 0.7)
+        plain = cpsched(demands, 1.3, 40.0, 10.0)
+        with_served, _ = cpsched_with_served(demands, 1.3, 40.0, 10.0)
+        np.testing.assert_allclose(plain, with_served)
+
+
+class TestCompositePathRate:
+    def test_zero_endpoints(self):
+        assert composite_path_rate(0, 100.0, 10.0) == 0.0
+
+    def test_eps_bound(self):
+        assert composite_path_rate(2, 100.0, 10.0) == 10.0
+
+    def test_ocs_bound(self):
+        assert composite_path_rate(50, 100.0, 10.0) == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValueError):
+            cpsched(np.array([-1.0]), 1.0, 100.0, 10.0)
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError):
+            cpsched(np.zeros((2, 2)), 1.0, 100.0, 10.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            cpsched(np.array([1.0]), -1.0, 100.0, 10.0)
+
+    def test_rejects_zero_rates(self):
+        with pytest.raises(ValueError):
+            cpsched(np.array([1.0]), 1.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            cpsched(np.array([1.0]), 1.0, 100.0, 0.0)

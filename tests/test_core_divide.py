@@ -1,0 +1,77 @@
+"""Tests for Algorithm 3 — DivideByType."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.divide import divide_by_type
+
+
+def reduced_permutation(n: int, pairs: "list[tuple[int, int]]") -> np.ndarray:
+    perm = np.zeros((n + 1, n + 1), dtype=np.int8)
+    for i, j in pairs:
+        perm[i, j] = 1
+    return perm
+
+
+class TestDivideByType:
+    def test_pure_regular_permutation(self):
+        perm = reduced_permutation(4, [(0, 1), (1, 0), (2, 3), (3, 2)])
+        divided = divide_by_type(perm)
+        assert divided.o2m_port is None
+        assert divided.m2o_port is None
+        assert not divided.has_composite
+        assert divided.regular.sum() == 4
+
+    def test_one_to_many_grant(self):
+        # Sender 2 matched to the composite column.
+        perm = reduced_permutation(4, [(2, 4), (0, 1), (1, 0)])
+        divided = divide_by_type(perm)
+        assert divided.o2m_port == 2
+        assert divided.m2o_port is None
+        assert divided.regular.sum() == 2
+        assert divided.regular[2].sum() == 0  # the grant is not a regular circuit
+
+    def test_many_to_one_grant(self):
+        perm = reduced_permutation(4, [(4, 3), (0, 0)])
+        divided = divide_by_type(perm)
+        assert divided.m2o_port == 3
+        assert divided.o2m_port is None
+
+    def test_both_grants_in_one_permutation(self):
+        perm = reduced_permutation(4, [(1, 4), (4, 2), (0, 0), (3, 3)])
+        divided = divide_by_type(perm)
+        assert divided.o2m_port == 1
+        assert divided.m2o_port == 2
+        assert divided.has_composite
+        assert divided.regular.sum() == 2
+
+    def test_composite_to_composite_corner_ignored(self):
+        # P[n, n] = 1 carries no demand (DI[n, n] == 0 by construction).
+        perm = reduced_permutation(4, [(4, 4), (0, 1)])
+        divided = divide_by_type(perm)
+        assert divided.o2m_port is None
+        assert divided.m2o_port is None
+        assert divided.regular.sum() == 1
+
+    def test_regular_block_is_a_copy(self):
+        perm = reduced_permutation(3, [(0, 0)])
+        divided = divide_by_type(perm)
+        divided.regular[0, 0] = 0
+        assert perm[0, 0] == 1
+
+    def test_rejects_non_permutation(self):
+        bad = np.zeros((5, 5), dtype=np.int8)
+        bad[0, 0] = bad[0, 1] = 1  # two entries in one row
+        with pytest.raises(ValueError):
+            divide_by_type(bad)
+
+    def test_rejects_tiny_matrix(self):
+        with pytest.raises(ValueError):
+            divide_by_type(np.zeros((1, 1), dtype=np.int8))
+
+    def test_partial_permutation_accepted(self):
+        perm = reduced_permutation(4, [(0, 2)])
+        divided = divide_by_type(perm)
+        assert divided.regular.sum() == 1

@@ -1,0 +1,131 @@
+"""Tests for the §4 k-composite-paths extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multipath import (
+    NO_PATH,
+    MultiPathCpScheduler,
+    divide_by_type_multipath,
+    multi_path_reduction,
+)
+from repro.core.reduction import cp_switch_demand_reduction
+from repro.hybrid.solstice import SolsticeScheduler
+from repro.switch.params import fast_ocs_params
+
+
+class TestMultiPathReduction:
+    def test_k1_matches_base_algorithm(self, sparse_demand):
+        base = cp_switch_demand_reduction(sparse_demand, 3, 2.0)
+        multi = multi_path_reduction(sparse_demand, 1, 3, 2.0)
+        np.testing.assert_allclose(multi.reduced, base.reduced)
+        np.testing.assert_allclose(multi.filtered, base.filtered)
+        np.testing.assert_array_equal(multi.o2m_path != NO_PATH, base.o2m_assignment)
+        np.testing.assert_array_equal(multi.m2o_path != NO_PATH, base.m2o_assignment)
+
+    def test_volume_conserved(self, sparse_demand):
+        multi = multi_path_reduction(sparse_demand, 3, 3, 2.0)
+        assert multi.reduced.sum() == pytest.approx(sparse_demand.sum())
+
+    def test_matrix_shape(self, sparse_demand):
+        multi = multi_path_reduction(sparse_demand, 3, 3, 2.0)
+        assert multi.reduced.shape == (11, 11)
+        # Composite endpoints never talk to each other.
+        assert multi.reduced[8:, 8:].sum() == 0.0
+
+    def test_sender_is_sticky_to_one_path(self):
+        demand = np.zeros((8, 8))
+        demand[0, 1:8] = 1.0
+        multi = multi_path_reduction(demand, 3, 4, 2.0)
+        paths = multi.o2m_path[0, 1:8]
+        assert (paths == paths[0]).all()
+        assert paths[0] != NO_PATH
+
+    def test_two_senders_spread_across_paths(self):
+        demand = np.zeros((8, 8))
+        demand[0, 1:8] = 1.0
+        demand[1, np.r_[0, 2:8]] = 1.0
+        multi = multi_path_reduction(demand, 2, 4, 2.0)
+        path0 = multi.o2m_path[0, 1]
+        path1 = multi.o2m_path[1, 0]
+        assert path0 != path1
+
+    def test_path_loads_reflect_assignments(self):
+        rng = np.random.default_rng(1)
+        demand = rng.uniform(0, 2, (10, 10)) * (rng.random((10, 10)) < 0.7)
+        multi = multi_path_reduction(demand, 2, 4, 3.0)
+        n = 10
+        for p in range(2):
+            expected = demand[multi.o2m_path == p].sum()
+            assert multi.reduced[:n, n + p].sum() == pytest.approx(expected)
+            expected = demand[multi.m2o_path == p].sum()
+            assert multi.reduced[n + p, :n].sum() == pytest.approx(expected)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            multi_path_reduction(np.zeros((4, 4)), 0, 2, 1.0)
+
+
+class TestDivideByTypeMultipath:
+    def test_extracts_multiple_grants(self):
+        n, k = 4, 2
+        perm = np.zeros((n + k, n + k), dtype=np.int8)
+        perm[0, n] = 1  # sender 0 on o2m path 0
+        perm[1, n + 1] = 1  # sender 1 on o2m path 1
+        perm[n, 2] = 1  # receiver 2 on m2o path 0
+        perm[2, 3] = 1  # a regular circuit
+        regular, o2m, m2o = divide_by_type_multipath(perm, n)
+        assert o2m == {0: 0, 1: 1}
+        assert m2o == {0: 2}
+        assert regular.sum() == 1
+
+    def test_path_to_path_matches_ignored(self):
+        n, k = 3, 2
+        perm = np.zeros((n + k, n + k), dtype=np.int8)
+        perm[n, n + 1] = 1
+        regular, o2m, m2o = divide_by_type_multipath(perm, n)
+        assert o2m == {}
+        assert m2o == {}
+
+    def test_rejects_undersized_permutation(self):
+        with pytest.raises(ValueError):
+            divide_by_type_multipath(np.zeros((3, 3), dtype=np.int8), 3)
+
+
+class TestMultiPathScheduler:
+    def test_name_encodes_k(self):
+        scheduler = MultiPathCpScheduler(SolsticeScheduler(), n_paths=3)
+        assert scheduler.name == "cp3-solstice"
+
+    def test_composite_served_conserves_volume(self, skewed_demand16):
+        params = fast_ocs_params(16)
+        scheduler = MultiPathCpScheduler(SolsticeScheduler(), n_paths=2)
+        schedule = scheduler.schedule(skewed_demand16, params)
+        served = schedule.composite_volume_served
+        expected = schedule.reduction.filtered.sum() - schedule.filtered_residual.sum()
+        assert served == pytest.approx(expected)
+
+    def test_radix_mismatch_rejected(self):
+        scheduler = MultiPathCpScheduler(SolsticeScheduler(), n_paths=2)
+        with pytest.raises(ValueError):
+            scheduler.schedule(np.zeros((4, 4)), fast_ocs_params(8))
+
+    def test_lanes_partition_service(self, skewed_demand16):
+        # Each served entry must have been served through its own lane.
+        params = fast_ocs_params(16)
+        scheduler = MultiPathCpScheduler(SolsticeScheduler(), n_paths=2)
+        schedule = scheduler.schedule(skewed_demand16, params)
+        reduction = schedule.reduction
+        for entry in schedule.entries:
+            served = entry.composite_served > 0
+            rows, cols = np.nonzero(served)
+            for i, j in zip(rows, cols):
+                on_o2m = reduction.o2m_path[i, j] in entry.o2m_grants and entry.o2m_grants.get(
+                    int(reduction.o2m_path[i, j])
+                ) == i
+                on_m2o = reduction.m2o_path[i, j] in entry.m2o_grants and entry.m2o_grants.get(
+                    int(reduction.m2o_path[i, j])
+                ) == j
+                assert on_o2m or on_m2o

@@ -1,0 +1,114 @@
+"""Tests for Algorithm 4 — CPSwitchSched (the full cp-Switch scheduler)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FilterConfig
+from repro.core.cpsched import cpsched
+from repro.core.scheduler import CpSwitchScheduler
+from repro.hybrid.eclipse import EclipseScheduler
+from repro.hybrid.solstice import SolsticeScheduler
+from repro.switch.params import fast_ocs_params
+
+
+@pytest.fixture
+def params():
+    return fast_ocs_params(8)
+
+
+@pytest.fixture
+def scheduler():
+    return CpSwitchScheduler(SolsticeScheduler())
+
+
+class TestCpSwitchScheduler:
+    def test_name_composes_inner_name(self, scheduler):
+        assert scheduler.name == "cp-solstice"
+
+    def test_pure_one_to_many_uses_single_config(self, params, scheduler, skewed_demand):
+        cp_schedule = scheduler.schedule(skewed_demand, params)
+        # One-to-many + many-to-one fit one permutation: sender 0 to the
+        # o2m column and the m2o row to receiver 7 are disjoint circuits.
+        assert cp_schedule.n_configs <= 2
+        h_schedule = SolsticeScheduler().schedule(skewed_demand, params)
+        assert cp_schedule.n_configs < h_schedule.n_configs
+
+    def test_composite_served_matches_cpsched(self, params, skewed_demand):
+        scheduler = CpSwitchScheduler(SolsticeScheduler())
+        cp_schedule = scheduler.schedule(skewed_demand, params)
+        # Replay CPSched manually over the schedule and compare residuals.
+        filtered = cp_schedule.reduction.filtered.copy()
+        for entry in cp_schedule:
+            if entry.o2m_port is not None:
+                filtered[entry.o2m_port, :] = cpsched(
+                    filtered[entry.o2m_port, :],
+                    entry.duration,
+                    params.ocs_rate,
+                    params.effective_eps_budget,
+                )
+            if entry.m2o_port is not None:
+                filtered[:, entry.m2o_port] = cpsched(
+                    filtered[:, entry.m2o_port],
+                    entry.duration,
+                    params.ocs_rate,
+                    params.effective_eps_budget,
+                )
+        np.testing.assert_allclose(filtered, cp_schedule.filtered_residual)
+
+    def test_served_volumes_sum_to_filtered_minus_residual(self, params, scheduler, skewed_demand):
+        cp_schedule = scheduler.schedule(skewed_demand, params)
+        total_served = sum(entry.composite_volume for entry in cp_schedule)
+        expected = cp_schedule.reduction.filtered.sum() - cp_schedule.filtered_residual.sum()
+        assert total_served == pytest.approx(expected)
+
+    def test_composite_served_is_nonnegative(self, params, scheduler, sparse_demand):
+        cp_schedule = scheduler.schedule(sparse_demand, params)
+        for entry in cp_schedule:
+            assert (entry.composite_served >= -1e-12).all()
+
+    def test_no_filterable_demand_degenerates_to_h_switch(self, params):
+        # A diagonal demand has fan-out 1 everywhere: nothing is filtered
+        # and the cp-Switch schedule equals the h-Switch schedule.
+        demand = np.diag(np.full(8, 5.0))
+        cp_schedule = CpSwitchScheduler(SolsticeScheduler()).schedule(demand, params)
+        h_schedule = SolsticeScheduler().schedule(demand, params)
+        assert cp_schedule.reduction.composite_volume == 0.0
+        assert cp_schedule.n_configs == h_schedule.n_configs
+        for cp_entry, h_entry in zip(cp_schedule, h_schedule):
+            np.testing.assert_array_equal(cp_entry.regular, h_entry.permutation)
+            assert cp_entry.duration == pytest.approx(h_entry.duration)
+
+    def test_works_with_eclipse_inner(self, params, skewed_demand):
+        scheduler = CpSwitchScheduler(EclipseScheduler())
+        cp_schedule = scheduler.schedule(skewed_demand, params)
+        assert scheduler.name == "cp-eclipse"
+        assert cp_schedule.composite_volume_served > 0
+
+    def test_makespan_counts_reconfigurations(self, params, scheduler, skewed_demand):
+        cp_schedule = scheduler.schedule(skewed_demand, params)
+        circuit_time = sum(entry.duration for entry in cp_schedule)
+        assert cp_schedule.makespan == pytest.approx(
+            circuit_time + cp_schedule.n_configs * params.reconfig_delay
+        )
+
+    def test_radix_mismatch_rejected(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.schedule(np.zeros((4, 4)), fast_ocs_params(8))
+
+    def test_reordered_preserves_entries(self, params, scheduler, skewed_demand):
+        cp_schedule = scheduler.schedule(skewed_demand, params)
+        order = list(range(cp_schedule.n_configs))[::-1]
+        reordered = cp_schedule.reordered(order)
+        assert reordered.n_configs == cp_schedule.n_configs
+        assert reordered.makespan == pytest.approx(cp_schedule.makespan)
+        assert reordered.entries[0] is cp_schedule.entries[-1]
+
+    def test_filter_config_is_honored(self, params, skewed_demand):
+        # An impossible fan-out threshold disables composite paths entirely.
+        strict = CpSwitchScheduler(
+            SolsticeScheduler(), filter_config=FilterConfig(fanout_threshold=1000)
+        )
+        cp_schedule = strict.schedule(skewed_demand, params)
+        assert cp_schedule.reduction.composite_volume == 0.0

@@ -1,0 +1,20 @@
+"""Keep the executable examples in docstrings honest."""
+
+from __future__ import annotations
+
+import doctest
+
+import repro
+import repro.hybrid.solstice.stuffing
+
+
+def test_package_docstring_examples():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+def test_stuffing_docstring_examples():
+    results = doctest.testmod(repro.hybrid.solstice.stuffing, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,173 @@
+"""Integration tests: the paper's qualitative results at reduced scale.
+
+These are the claims EXPERIMENTS.md tracks, checked here on one radix with
+a couple of seeds so the test suite stays fast; the full sweeps live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiment import ExperimentConfig, run_comparison
+from repro.switch.params import fast_ocs_params, slow_ocs_params
+from repro.workloads.combined import CombinedWorkload
+from repro.workloads.skewed import SkewedWorkload
+
+
+@pytest.fixture(scope="module")
+def skewed_fast():
+    """§3.2 experiment: pure skewed demand, fast OCS, Solstice, radix 32."""
+    params = fast_ocs_params(32)
+    return run_comparison(
+        ExperimentConfig(
+            workload=SkewedWorkload.for_params(params),
+            params=params,
+            scheduler="solstice",
+            n_trials=2,
+            seed=1,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def skewed_fast_eclipse():
+    params = fast_ocs_params(32)
+    return run_comparison(
+        ExperimentConfig(
+            workload=SkewedWorkload.for_params(params),
+            params=params,
+            scheduler="eclipse",
+            n_trials=2,
+            seed=1,
+        )
+    )
+
+
+class TestFigure5Shape:
+    """cp-Switch completes skewed demand faster with ~no reconfigurations."""
+
+    def test_cp_faster_total(self, skewed_fast):
+        assert skewed_fast.cp_completion_total.mean < skewed_fast.h_completion_total.mean
+
+    def test_cp_faster_o2m_and_m2o(self, skewed_fast):
+        assert skewed_fast.cp_completion_o2m.mean < skewed_fast.h_completion_o2m.mean
+        assert skewed_fast.cp_completion_m2o.mean < skewed_fast.h_completion_m2o.mean
+
+    def test_h_needs_many_configs_cp_few(self, skewed_fast):
+        # Paper Figure 5(c): h-Switch configs grow with fan-out; cp-Switch
+        # serves the same demand with one or two composite configurations.
+        assert skewed_fast.h_configs.mean >= 10
+        assert skewed_fast.cp_configs.mean <= 3
+
+    def test_advantage_grows_with_radix(self):
+        ratios = []
+        for n in (16, 64):
+            params = fast_ocs_params(n)
+            result = run_comparison(
+                ExperimentConfig(
+                    workload=SkewedWorkload.for_params(params),
+                    params=params,
+                    scheduler="solstice",
+                    n_trials=2,
+                    seed=5,
+                )
+            )
+            ratios.append(result.h_completion_total.mean / result.cp_completion_total.mean)
+        assert ratios[1] > ratios[0]
+
+    def test_slow_ocs_improvement_larger(self, skewed_fast):
+        params = slow_ocs_params(32)
+        slow = run_comparison(
+            ExperimentConfig(
+                workload=SkewedWorkload.for_params(params),
+                params=params,
+                scheduler="solstice",
+                n_trials=2,
+                seed=1,
+            )
+        )
+        fast_gain = skewed_fast.h_completion_total.mean / skewed_fast.cp_completion_total.mean
+        slow_gain = slow.h_completion_total.mean / slow.cp_completion_total.mean
+        assert slow_gain > fast_gain
+
+
+class TestFigure6Shape:
+    """cp-Switch serves a larger demand fraction over the OCS (Eclipse)."""
+
+    def test_cp_fraction_higher(self, skewed_fast_eclipse):
+        assert (
+            skewed_fast_eclipse.cp_ocs_fraction.mean
+            > skewed_fast_eclipse.h_ocs_fraction.mean
+        )
+
+    def test_h_config_count_in_paper_band(self, skewed_fast_eclipse):
+        # Paper §3.2: h-Switch with fast OCS needs ~31-35 Eclipse configs,
+        # spending 620-700 us of the 1 ms window on reconfigurations.
+        assert 25 <= skewed_fast_eclipse.h_configs.mean <= 40
+
+    def test_cp_config_count_tiny(self, skewed_fast_eclipse):
+        # Paper: "cp-Switch requires at most 1-2 reconfigurations".
+        assert skewed_fast_eclipse.cp_configs.mean <= 4
+
+
+class TestFigure7And8Shape:
+    """Typical background + skewed demand (fast OCS, radix 32)."""
+
+    @pytest.fixture(scope="class")
+    def solstice_result(self):
+        params = fast_ocs_params(32)
+        return run_comparison(
+            ExperimentConfig(
+                workload=CombinedWorkload.typical(params),
+                params=params,
+                scheduler="solstice",
+                n_trials=2,
+                seed=3,
+            )
+        )
+
+    @pytest.fixture(scope="class")
+    def eclipse_result(self):
+        params = fast_ocs_params(32)
+        return run_comparison(
+            ExperimentConfig(
+                workload=CombinedWorkload.typical(params),
+                params=params,
+                scheduler="eclipse",
+                n_trials=2,
+                seed=3,
+            )
+        )
+
+    def test_skewed_subset_improves_strongly(self, solstice_result):
+        # Paper Figure 7: 15-70% faster completion for o2m/m2o demand.
+        gain = 1 - solstice_result.cp_completion_o2m.mean / solstice_result.h_completion_o2m.mean
+        assert gain > 0.10
+
+    def test_total_does_not_regress_materially(self, solstice_result):
+        # Paper Figure 7 reports 9-37% faster total completion (fast OCS),
+        # smallest at radix 32.  In our reproduction the radix-32 total is
+        # a near-tie (the background dominates); the growing-with-radix
+        # gain is asserted by the Figure 7 benchmark at 64/128.
+        gain = 1 - solstice_result.cp_completion_total.mean / solstice_result.h_completion_total.mean
+        assert gain > -0.05
+
+    def test_cp_reduces_configs(self, solstice_result):
+        assert solstice_result.cp_configs.mean <= solstice_result.h_configs.mean
+
+    def test_utilization_improves(self, eclipse_result):
+        assert eclipse_result.cp_ocs_fraction.mean > eclipse_result.h_ocs_fraction.mean
+
+
+class TestRuntimeShape:
+    """Tables 1-2: cp scheduling cost is comparable to h (same order)."""
+
+    def test_cp_overhead_bounded(self, skewed_fast):
+        # Algorithm 4 adds O(n^2) interpretation on top of the sub-
+        # scheduler; with far fewer permutations to produce it is usually
+        # *faster*.  Allow generous slack for timer noise, but the ratio
+        # must stay within the same order of magnitude.
+        ratio = skewed_fast.cp_sched_seconds.mean / skewed_fast.h_sched_seconds.mean
+        assert ratio < 3.0

@@ -1,0 +1,62 @@
+"""Tests for the Birkhoff–von-Neumann decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hybrid.solstice.stuffing import quick_stuff
+from repro.matching.birkhoff import birkhoff_von_neumann, is_equal_sum, recompose
+
+
+class TestIsEqualSum:
+    def test_doubly_stochastic_is_equal_sum(self):
+        matrix = np.full((3, 3), 1 / 3)
+        assert is_equal_sum(matrix)
+
+    def test_unequal_sums_detected(self):
+        assert not is_equal_sum(np.array([[1.0, 0.0], [0.0, 2.0]]))
+
+
+class TestBirkhoffVonNeumann:
+    def test_permutation_decomposes_to_itself(self):
+        perm = np.array([[0.0, 2.0], [2.0, 0.0]])
+        terms = birkhoff_von_neumann(perm)
+        assert len(terms) == 1
+        assert terms[0].weight == pytest.approx(2.0)
+        np.testing.assert_array_equal(terms[0].permutation, [[0, 1], [1, 0]])
+
+    def test_recompose_inverts_decompose(self):
+        rng = np.random.default_rng(2)
+        demand = rng.uniform(0, 4, (6, 6)) * (rng.random((6, 6)) < 0.5)
+        stuffed = quick_stuff(demand)
+        terms = birkhoff_von_neumann(stuffed)
+        np.testing.assert_allclose(recompose(terms, 6), stuffed, atol=1e-8)
+
+    def test_term_count_within_bvn_bound(self):
+        rng = np.random.default_rng(3)
+        demand = rng.uniform(0, 4, (5, 5)) * (rng.random((5, 5)) < 0.6)
+        stuffed = quick_stuff(demand)
+        terms = birkhoff_von_neumann(stuffed)
+        nnz = int((stuffed > 0).sum())
+        assert 1 <= len(terms) <= nnz
+
+    def test_weights_positive_and_sum_to_phi(self):
+        rng = np.random.default_rng(4)
+        demand = rng.uniform(0, 4, (5, 5)) * (rng.random((5, 5)) < 0.6)
+        stuffed = quick_stuff(demand)
+        phi = stuffed.sum(axis=1)[0]
+        terms = birkhoff_von_neumann(stuffed)
+        assert all(term.weight > 0 for term in terms)
+        assert sum(term.weight for term in terms) == pytest.approx(phi)
+
+    def test_rejects_unequal_sums(self):
+        with pytest.raises(ValueError):
+            birkhoff_von_neumann(np.array([[1.0, 0.0], [0.0, 2.0]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            birkhoff_von_neumann(np.array([[-1.0, 1.0], [1.0, -1.0]]))
+
+    def test_empty_matrix_gives_no_terms(self):
+        assert birkhoff_von_neumann(np.zeros((3, 3))) == []

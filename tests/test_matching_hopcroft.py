@@ -1,0 +1,126 @@
+"""Tests for Hopcroft–Karp matching (pure-Python and scipy backends)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.matching.hopcroft_karp import (
+    UNMATCHED,
+    has_perfect_matching,
+    hopcroft_karp,
+    matching_to_permutation,
+    maximum_matching_mask,
+    perfect_matching_mask,
+)
+
+
+def brute_force_max_matching(mask: np.ndarray) -> int:
+    """Exponential oracle: maximum matching size of a small boolean matrix."""
+    n_rows, n_cols = mask.shape
+    best = 0
+    cols = list(range(n_cols))
+    for size in range(min(n_rows, n_cols), 0, -1):
+        for row_subset in itertools.combinations(range(n_rows), size):
+            for col_perm in itertools.permutations(cols, size):
+                if all(mask[r, c] for r, c in zip(row_subset, col_perm)):
+                    return size
+    return best
+
+
+class TestHopcroftKarp:
+    def test_simple_perfect(self):
+        adjacency = [[0, 1], [0], [2]]
+        match_left, match_right, size = hopcroft_karp(adjacency, 3)
+        assert size == 3
+        assert sorted(match_left.tolist()) == [0, 1, 2]
+
+    def test_requires_augmenting_path(self):
+        # Greedy picks 0->0; augmentation must reroute it via 0->1.
+        adjacency = [[0, 1], [0]]
+        _left, _right, size = hopcroft_karp(adjacency, 2)
+        assert size == 2
+
+    def test_no_edges(self):
+        match_left, _right, size = hopcroft_karp([[], []], 2)
+        assert size == 0
+        assert (match_left == UNMATCHED).all()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((5, 5)) < 0.35
+        _match, size = maximum_matching_mask(mask, use_scipy=False)
+        assert size == brute_force_max_matching(mask)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_scipy_and_python_backends_agree(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        mask = rng.random((9, 9)) < 0.4
+        _m1, size_py = maximum_matching_mask(mask, use_scipy=False)
+        _m2, size_sp = maximum_matching_mask(mask, use_scipy=True)
+        assert size_py == size_sp
+
+    def test_matching_is_valid(self):
+        rng = np.random.default_rng(5)
+        mask = rng.random((12, 12)) < 0.5
+        match, size = maximum_matching_mask(mask)
+        matched = match[match != UNMATCHED]
+        assert len(set(matched.tolist())) == len(matched), "columns must be distinct"
+        for row, col in enumerate(match.tolist()):
+            if col != UNMATCHED:
+                assert mask[row, col], "matched pair must be an edge"
+
+
+class TestPerfectMatching:
+    def test_identity_has_perfect_matching(self):
+        assert has_perfect_matching(np.eye(4, dtype=bool))
+
+    def test_empty_row_fails_fast(self):
+        mask = np.ones((4, 4), dtype=bool)
+        mask[2, :] = False
+        assert not has_perfect_matching(mask)
+
+    def test_rectangular_never_perfect(self):
+        assert not has_perfect_matching(np.ones((3, 4), dtype=bool))
+
+    def test_hall_violation_detected(self):
+        # Rows {0,1,2} all map into columns {0,1}: no perfect matching.
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, [0, 1]] = True
+        mask[1, [0, 1]] = True
+        mask[2, [0, 1]] = True
+        mask[3, :] = True
+        assert not has_perfect_matching(mask)
+
+    def test_perfect_matching_mask_returns_permutation(self):
+        mask = np.array(
+            [
+                [1, 1, 0],
+                [1, 0, 0],
+                [0, 1, 1],
+            ],
+            dtype=bool,
+        )
+        match = perfect_matching_mask(mask)
+        assert match is not None
+        perm = matching_to_permutation(match, 3)
+        assert perm.sum() == 3
+        assert (perm.sum(axis=0) == 1).all()
+        assert (perm.sum(axis=1) == 1).all()
+        assert (mask | (perm == 0)).all(), "permutation uses only edges"
+
+    def test_perfect_matching_mask_none_when_infeasible(self):
+        mask = np.zeros((3, 3), dtype=bool)
+        mask[:, 0] = True
+        assert perfect_matching_mask(mask) is None
+
+
+class TestMatchingToPermutation:
+    def test_partial_matching_gives_partial_permutation(self):
+        match = np.array([1, UNMATCHED, 0])
+        perm = matching_to_permutation(match, 3)
+        assert perm.sum() == 2
+        assert perm[0, 1] == 1 and perm[2, 0] == 1

@@ -1,0 +1,122 @@
+"""Parameter-sweep stress tests: the full pipeline across switch/workload
+configurations, checking the invariants that must hold everywhere."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FilterConfig
+from repro.core.scheduler import CpSwitchScheduler
+from repro.hybrid.base import make_scheduler
+from repro.sim import simulate_cp, simulate_hybrid
+from repro.switch.params import SwitchParams
+from repro.workloads.combined import CombinedWorkload
+from repro.workloads.skewed import SkewedWorkload
+
+
+def pipeline(demand, params, scheduler_name):
+    inner = make_scheduler(scheduler_name)
+    h_schedule = inner.schedule(demand, params)
+    h_result = simulate_hybrid(demand, h_schedule, params)
+    cp_schedule = CpSwitchScheduler(inner).schedule(demand, params)
+    cp_result = simulate_cp(demand, cp_schedule, params)
+    return h_result, cp_result
+
+
+@pytest.mark.parametrize("scheduler_name", ["solstice", "eclipse"])
+@pytest.mark.parametrize(
+    "eps_rate,ocs_rate,delta",
+    [
+        (10.0, 100.0, 0.02),  # paper fast
+        (10.0, 100.0, 20.0),  # paper slow
+        (10.0, 40.0, 0.1),  # modest 4x speedup
+        (1.0, 100.0, 0.02),  # extreme 100x speedup
+        (25.0, 100.0, 1.0),  # 4x speedup, mid delta
+    ],
+)
+class TestParameterSweep:
+    def test_conservation_and_sanity(self, scheduler_name, eps_rate, ocs_rate, delta):
+        params = SwitchParams(
+            n_ports=16, eps_rate=eps_rate, ocs_rate=ocs_rate, reconfig_delay=delta
+        )
+        rng = np.random.default_rng(hash((scheduler_name, eps_rate, delta)) % 2**32)
+        demand = rng.uniform(0, 5, (16, 16)) * (rng.random((16, 16)) < 0.4)
+        if delta >= 1.0:
+            demand = demand * 100  # slow-OCS scale, as the paper does
+        h_result, cp_result = pipeline(demand, params, scheduler_name)
+        h_result.check_conservation(tol=1e-5)
+        cp_result.check_conservation(tol=1e-5)
+        # Completion can never beat the EPS+OCS capacity bound of the
+        # busiest port.
+        port_load = max(demand.sum(axis=1).max(), demand.sum(axis=0).max())
+        bound = port_load / (eps_rate + ocs_rate)
+        assert h_result.completion_time >= bound - 1e-9
+        assert cp_result.completion_time >= bound - 1e-9
+
+
+@pytest.mark.parametrize("n_ports", [8, 16, 32])
+def test_skewed_speedup_holds_across_radices(n_ports):
+    params = SwitchParams(n_ports=n_ports, eps_rate=5.0, ocs_rate=100.0, reconfig_delay=0.02)
+    workload = SkewedWorkload()
+    rng = np.random.default_rng(n_ports)
+    spec = workload.generate(n_ports, rng)
+    h_result, cp_result = pipeline(spec.demand.copy(), params, "solstice")
+    # With Ce = 5 the composite path's OCS leg saturates only once
+    # fan-out * Ce >= Co, i.e. fan-out >= 20 — radix 32 in this sweep.
+    # Below that the composite path is EPS-bound and cp may lose; the
+    # config-count reduction must hold regardless.
+    if n_ports >= 32:
+        assert cp_result.completion_time <= h_result.completion_time * 1.05
+    assert cp_result.n_configs <= h_result.n_configs
+
+
+class TestFilterConfigSweep:
+    @pytest.mark.parametrize("alpha", [0.1, 1.0, 10.0])
+    @pytest.mark.parametrize("beta", [0.3, 0.7, 1.0])
+    def test_any_filter_config_conserves_volume(self, alpha, beta):
+        params = SwitchParams(n_ports=16)
+        workload = CombinedWorkload.typical(params)
+        spec = workload.generate(16, np.random.default_rng(5))
+        scheduler = CpSwitchScheduler(
+            make_scheduler("solstice"), filter_config=FilterConfig(alpha=alpha, beta=beta)
+        )
+        cp_schedule = scheduler.schedule(spec.demand, params)
+        result = simulate_cp(spec.demand, cp_schedule, params)
+        result.check_conservation(tol=1e-5)
+
+    def test_beta_one_filters_only_full_fanout(self):
+        params = SwitchParams(n_ports=8)
+        demand = np.zeros((8, 8))
+        demand[0, 1:8] = 1.0  # fan-out 7 = n-1 < Rt = 8
+        scheduler = CpSwitchScheduler(
+            make_scheduler("solstice"), filter_config=FilterConfig(beta=1.0)
+        )
+        cp_schedule = scheduler.schedule(demand, params)
+        assert cp_schedule.reduction.composite_volume == 0.0
+
+
+class TestBudgetSweep:
+    @pytest.mark.parametrize("budget", [0.5, 2.0, 10.0])
+    def test_budget_monotone_skew_completion(self, budget, skewed_demand16):
+        base = SwitchParams(n_ports=16)
+        params = base.with_budget(budget)
+        cp_schedule = CpSwitchScheduler(make_scheduler("solstice")).schedule(
+            skewed_demand16, params
+        )
+        result = simulate_cp(skewed_demand16, cp_schedule, params)
+        result.check_conservation(tol=1e-5)
+        # Store for the cross-budget comparison below via pytest cache of
+        # the parametrize order: simpler — just check finiteness here.
+        assert np.isfinite(result.completion_time)
+
+    def test_larger_budget_never_slower(self, skewed_demand16):
+        completions = []
+        for budget in (0.5, 2.0, 10.0):
+            params = SwitchParams(n_ports=16).with_budget(budget)
+            cp_schedule = CpSwitchScheduler(make_scheduler("solstice")).schedule(
+                skewed_demand16, params
+            )
+            result = simulate_cp(skewed_demand16, cp_schedule, params)
+            completions.append(result.completion_time)
+        assert completions[0] >= completions[1] >= completions[2] - 1e-9

@@ -1,0 +1,136 @@
+"""Property-based fuzzing of the fluid engine with arbitrary schedules.
+
+The scheduler-level property tests exercise the engine only through
+well-formed Solstice/Eclipse output.  Here hypothesis drives it with
+*arbitrary* (valid but adversarial) phase sequences — random partial
+permutations, random durations, random composite grants and filtered
+splits — checking the invariants that must hold regardless:
+
+* volume conservation (served + residual == demand);
+* monotone non-negative residuals;
+* finish times within [0, clock] and only for demanded entries;
+* horizon-bounded runs never deliver more than unbounded ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sim.engine import CompositeService, FluidEngine
+from repro.switch.params import SwitchParams
+
+N = 6
+
+
+def demands():
+    return st.tuples(
+        arrays(np.float64, (N, N), elements=st.floats(0.0, 30.0, allow_nan=False, width=32)),
+        arrays(np.bool_, (N, N)),
+    ).map(lambda pair: pair[0] * pair[1])
+
+
+def partial_permutations():
+    """Random partial permutation via a shuffled prefix."""
+    return st.tuples(
+        st.permutations(list(range(N))), st.integers(min_value=0, max_value=N)
+    ).map(_prefix_permutation)
+
+
+def _prefix_permutation(args):
+    perm_order, size = args
+    matrix = np.zeros((N, N), dtype=np.int8)
+    for row in range(size):
+        matrix[row, perm_order[row]] = 1
+    return matrix
+
+
+def phases():
+    return st.lists(
+        st.tuples(
+            st.floats(0.0, 0.5, allow_nan=False),  # duration
+            partial_permutations(),
+            st.booleans(),  # grant an o2m path?
+            st.integers(min_value=0, max_value=N - 1),  # o2m port
+            st.booleans(),  # grant an m2o path?
+            st.integers(min_value=0, max_value=N - 1),  # m2o port
+        ),
+        min_size=0,
+        max_size=4,
+    )
+
+
+PARAMS = SwitchParams(n_ports=N, eps_rate=10.0, ocs_rate=100.0, reconfig_delay=0.02)
+
+
+def _run(demand, phase_list, horizon=None):
+    engine = FluidEngine(demand, PARAMS)
+    # Half of the small entries become composite demand.
+    filtered = np.where(demand < 5.0, demand, 0.0)
+    engine.assign_composite(filtered)
+    clock_budget = horizon
+    for duration, circuits, use_o2m, o2m_port, use_m2o, m2o_port in phase_list:
+        if clock_budget is not None:
+            duration = min(duration, max(0.0, clock_budget - engine.clock))
+        composites = []
+        if use_o2m:
+            composites.append(CompositeService("o2m", o2m_port))
+        if use_m2o:
+            composites.append(CompositeService("m2o", m2o_port))
+        engine.run_phase(duration, circuits=circuits, composites=composites)
+    if horizon is None:
+        engine.merge_composite_into_regular()
+        engine.run_phase(None)
+    return engine
+
+
+class TestEngineFuzz:
+    @given(demand=demands(), phase_list=phases())
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_under_arbitrary_schedules(self, demand, phase_list):
+        engine = _run(demand, phase_list)
+        delivered = (
+            engine.served_ocs_direct + engine.served_composite + engine.served_eps
+        )
+        np.testing.assert_allclose(
+            delivered + engine.residual_total(), demand.sum(), rtol=1e-6, atol=1e-6
+        )
+
+    @given(demand=demands(), phase_list=phases())
+    @settings(max_examples=60, deadline=None)
+    def test_residuals_never_negative(self, demand, phase_list):
+        engine = _run(demand, phase_list)
+        assert (engine.regular >= 0).all()
+        assert (engine.composite >= 0).all()
+
+    @given(demand=demands(), phase_list=phases())
+    @settings(max_examples=60, deadline=None)
+    def test_finish_times_consistent(self, demand, phase_list):
+        engine = _run(demand, phase_list)
+        demanded = demand > 1e-9
+        finished = engine.finish_times[demanded]
+        assert not np.isnan(finished).any()  # unbounded run drains all
+        assert (finished >= 0).all()
+        assert (finished <= engine.clock + 1e-9).all()
+        assert np.isnan(engine.finish_times[~demanded]).all()
+
+    @given(
+        demand=demands(),
+        phase_list=phases(),
+        horizon=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_horizon_never_delivers_more(self, demand, phase_list, horizon):
+        bounded = _run(demand, phase_list, horizon=horizon)
+        unbounded = _run(demand, phase_list)
+        delivered_bounded = (
+            bounded.served_ocs_direct + bounded.served_composite + bounded.served_eps
+        )
+        delivered_unbounded = (
+            unbounded.served_ocs_direct
+            + unbounded.served_composite
+            + unbounded.served_eps
+        )
+        assert delivered_bounded <= delivered_unbounded + 1e-6

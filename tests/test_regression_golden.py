@@ -1,0 +1,95 @@
+"""Golden-value regression tests.
+
+The whole pipeline is deterministic given a seed, so these lock exact
+end-to-end numbers for fixed inputs.  Their job is to catch *unintended*
+behaviour changes during refactors: if one fails after a deliberate
+algorithm change, re-derive the constants (the test docstrings say how)
+and update them together with a note in the commit.
+
+Values derived on the reference configuration: 32-port fast-OCS switch
+(Ce=10, Co=100, δ=0.02 ms), paper-default filter thresholds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import CpSwitchScheduler
+from repro.hybrid.eclipse import EclipseScheduler
+from repro.hybrid.solstice import SolsticeScheduler
+from repro.sim import simulate_cp, simulate_hybrid
+from repro.switch.params import fast_ocs_params
+from repro.workloads.combined import CombinedWorkload
+from repro.workloads.skewed import SkewedWorkload
+
+
+@pytest.fixture(scope="module")
+def params():
+    return fast_ocs_params(32)
+
+
+@pytest.fixture(scope="module")
+def typical_spec():
+    """CombinedWorkload.typical draw with seed 12345 (radix 32, fast)."""
+    params = fast_ocs_params(32)
+    return CombinedWorkload.typical(params).generate(32, np.random.default_rng(12345))
+
+
+class TestWorkloadDeterminism:
+    def test_typical_demand_volume(self, typical_spec):
+        assert typical_spec.demand.sum() == pytest.approx(1310.467477300667)
+
+    def test_skewed_demand_volume(self):
+        spec = SkewedWorkload().generate(32, np.random.default_rng(777))
+        assert spec.demand.sum() == pytest.approx(61.9962819604508)
+
+
+class TestSolsticePipeline:
+    def test_h_switch_metrics(self, params, typical_spec):
+        schedule = SolsticeScheduler().schedule(typical_spec.demand, params)
+        assert schedule.n_configs == 33
+        result = simulate_hybrid(typical_spec.demand, schedule, params)
+        assert result.completion_time == pytest.approx(3.5251339344969823)
+        assert result.served_ocs_direct == pytest.approx(1030.1858805273919)
+
+    def test_cp_switch_metrics(self, params, typical_spec):
+        cp_schedule = CpSwitchScheduler(SolsticeScheduler()).schedule(
+            typical_spec.demand, params
+        )
+        assert cp_schedule.n_configs == 28
+        assert cp_schedule.reduction.composite_volume == pytest.approx(
+            62.467477300666985
+        )
+        result = simulate_cp(typical_spec.demand, cp_schedule, params)
+        assert result.completion_time == pytest.approx(3.4302476589197295)
+        # The schedule delivers the entire filtered demand via composites.
+        assert result.served_composite == pytest.approx(62.46747730066699)
+
+    def test_skewed_h_switch(self, params):
+        spec = SkewedWorkload().generate(32, np.random.default_rng(777))
+        schedule = SolsticeScheduler().schedule(spec.demand, params)
+        assert schedule.n_configs == 24
+        result = simulate_hybrid(spec.demand, schedule, params)
+        assert result.completion_time == pytest.approx(1.0675196725876241)
+
+
+class TestEclipsePipeline:
+    def test_eclipse_metrics(self, params, typical_spec):
+        schedule = EclipseScheduler().schedule(typical_spec.demand, params)
+        assert schedule.n_configs == 3
+        result = simulate_hybrid(typical_spec.demand, schedule, params)
+        assert result.ocs_fraction_within(1.0) == pytest.approx(0.563520504809738)
+
+
+class TestCrossRunStability:
+    def test_two_identical_runs_bit_equal(self, params, typical_spec):
+        def run():
+            cp_schedule = CpSwitchScheduler(SolsticeScheduler()).schedule(
+                typical_spec.demand, params
+            )
+            return simulate_cp(typical_spec.demand, cp_schedule, params)
+
+        a, b = run(), run()
+        assert a.completion_time == b.completion_time
+        np.testing.assert_array_equal(a.finish_times, b.finish_times)

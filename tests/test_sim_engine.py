@@ -1,0 +1,202 @@
+"""Tests for the fluid event-driven engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cpsched import cpsched
+from repro.sim.engine import CompositeService, FluidEngine
+from repro.switch.params import SwitchParams, fast_ocs_params
+
+
+def make_engine(demand, n=4, **params_kwargs) -> FluidEngine:
+    params = SwitchParams(n_ports=n, **params_kwargs)
+    return FluidEngine(np.asarray(demand, dtype=float), params)
+
+
+class TestEpsOnlyService:
+    def test_single_entry_drains_at_eps_rate(self):
+        demand = np.zeros((4, 4))
+        demand[0, 1] = 20.0
+        engine = make_engine(demand)
+        engine.run_phase(None)
+        # 20 Mb at Ce = 10 Mb/ms -> 2 ms.
+        assert engine.finish_times[0, 1] == pytest.approx(2.0)
+        assert engine.residual_total() == 0.0
+
+    def test_fanout_row_shares_input(self):
+        demand = np.zeros((4, 4))
+        demand[0, 1:4] = 10.0
+        engine = make_engine(demand)
+        engine.run_phase(None)
+        # 3 flows share Ce=10 -> 10/(10/3) = 3 ms each.
+        for j in (1, 2, 3):
+            assert engine.finish_times[0, j] == pytest.approx(3.0)
+
+    def test_rates_rise_after_drain(self):
+        demand = np.zeros((4, 4))
+        demand[0, 1] = 5.0
+        demand[0, 2] = 10.0
+        engine = make_engine(demand)
+        engine.run_phase(None)
+        # Phase 1: both at 5 Mb/ms; entry (0,1) done at 1 ms.
+        # Phase 2: (0,2) finishes its 5 Mb at full 10 Mb/ms: 1 + 0.5 ms.
+        assert engine.finish_times[0, 1] == pytest.approx(1.0)
+        assert engine.finish_times[0, 2] == pytest.approx(1.5)
+
+
+class TestCircuitService:
+    def test_circuit_drains_at_ocs_rate(self):
+        demand = np.zeros((4, 4))
+        demand[1, 2] = 50.0
+        engine = make_engine(demand)
+        circuits = np.zeros((4, 4), dtype=np.int8)
+        circuits[1, 2] = 1
+        engine.run_phase(1.0, circuits=circuits)
+        # 50 Mb at Co = 100 Mb/ms -> 0.5 ms.
+        assert engine.finish_times[1, 2] == pytest.approx(0.5)
+
+    def test_eps_does_not_double_serve_circuit_entries(self):
+        demand = np.zeros((4, 4))
+        demand[1, 2] = 110.0
+        engine = make_engine(demand)
+        circuits = np.zeros((4, 4), dtype=np.int8)
+        circuits[1, 2] = 1
+        engine.run_phase(1.0, circuits=circuits)
+        # Exactly 100 Mb through the circuit, none through EPS.
+        assert engine.regular[1, 2] == pytest.approx(10.0)
+        assert engine.served_eps == pytest.approx(0.0)
+        assert engine.served_ocs_direct == pytest.approx(100.0)
+
+    def test_eps_serves_other_entries_during_circuit(self):
+        demand = np.zeros((4, 4))
+        demand[1, 2] = 100.0
+        demand[0, 3] = 5.0
+        engine = make_engine(demand)
+        circuits = np.zeros((4, 4), dtype=np.int8)
+        circuits[1, 2] = 1
+        engine.run_phase(1.0, circuits=circuits)
+        assert engine.finish_times[0, 3] == pytest.approx(0.5)  # 5 Mb at Ce
+
+    def test_reconfig_phase_is_eps_only(self):
+        demand = np.zeros((4, 4))
+        demand[0, 1] = 1.0
+        engine = make_engine(demand)
+        engine.run_phase(0.2)  # no circuits: a reconfiguration gap
+        assert engine.served_ocs_direct == 0.0
+        assert engine.finish_times[0, 1] == pytest.approx(0.1)
+
+
+class TestCompositeService:
+    def test_o2m_path_matches_cpsched(self):
+        n = 6
+        demand = np.zeros((n, n))
+        demand[0, 1:6] = np.array([3.0, 5.0, 2.0, 4.0, 1.0])
+        params = fast_ocs_params(n)
+        engine = FluidEngine(demand, params)
+        engine.assign_composite(demand.copy())
+        duration = 0.25
+        engine.run_phase(duration, composites=[CompositeService("o2m", 0)])
+        expected = cpsched(demand[0, :], duration, params.ocs_rate, params.eps_rate)
+        np.testing.assert_allclose(engine.composite[0, :], expected, atol=1e-9)
+
+    def test_m2o_path_matches_cpsched(self):
+        n = 6
+        demand = np.zeros((n, n))
+        demand[0:5, 5] = np.array([3.0, 5.0, 2.0, 4.0, 1.0])
+        params = fast_ocs_params(n)
+        engine = FluidEngine(demand, params)
+        engine.assign_composite(demand.copy())
+        duration = 0.3
+        engine.run_phase(duration, composites=[CompositeService("m2o", 5)])
+        expected = cpsched(demand[:, 5], duration, params.ocs_rate, params.eps_rate)
+        np.testing.assert_allclose(engine.composite[:, 5], expected, atol=1e-9)
+
+    def test_eps_reservation_slows_regular_traffic(self):
+        # Composite path to destination 1 at Ce* reserves the whole EPS
+        # output link; a regular flow to 1 stalls until the phase ends.
+        n = 4
+        demand = np.zeros((n, n))
+        demand[0, 1] = 100.0  # composite (via lane assignment below)
+        demand[2, 1] = 1.0  # regular flow to the same output
+        params = SwitchParams(n_ports=n)
+        engine = FluidEngine(demand, params)
+        filtered = np.zeros((n, n))
+        filtered[0, 1] = 100.0
+        engine.assign_composite(filtered)
+        engine.run_phase(0.5, composites=[CompositeService("o2m", 0)])
+        # Composite rate to port 1 is min(Ce*, Co/1) = 10 = Ce: no EPS
+        # capacity remains for the regular flow.
+        assert engine.regular[2, 1] == pytest.approx(1.0)
+        engine.merge_composite_into_regular()
+        engine.run_phase(None)
+        assert engine.residual_total() == 0.0
+
+    def test_budget_caps_composite_rate(self):
+        n = 4
+        demand = np.zeros((n, n))
+        demand[0, 1] = 10.0
+        params = SwitchParams(n_ports=n, eps_budget=5.0)
+        engine = FluidEngine(demand, params)
+        engine.assign_composite(demand.copy())
+        engine.run_phase(1.0, composites=[CompositeService("o2m", 0)])
+        # Rate = min(Ce*=5, Co/1) = 5 -> 5 Mb left of 10.
+        assert engine.composite[0, 1] == pytest.approx(5.0)
+
+    def test_lane_mask_restricts_service(self):
+        n = 4
+        demand = np.zeros((n, n))
+        demand[0, 1] = 4.0
+        demand[0, 2] = 4.0
+        params = fast_ocs_params(n)
+        engine = FluidEngine(demand, params)
+        engine.assign_composite(demand.copy())
+        lane = np.zeros(n, dtype=bool)
+        lane[1] = True
+        engine.run_phase(0.2, composites=[CompositeService("o2m", 0, lane_mask=lane)])
+        assert engine.composite[0, 1] == pytest.approx(2.0)
+        assert engine.composite[0, 2] == pytest.approx(4.0)
+
+
+class TestLifecycle:
+    def test_assign_composite_after_start_rejected(self):
+        demand = np.ones((3, 3))
+        engine = make_engine(demand, n=3)
+        engine.run_phase(0.1)
+        with pytest.raises(RuntimeError):
+            engine.assign_composite(np.zeros((3, 3)))
+
+    def test_assign_composite_exceeding_demand_rejected(self):
+        engine = make_engine(np.ones((3, 3)), n=3)
+        with pytest.raises(ValueError):
+            engine.assign_composite(np.full((3, 3), 2.0))
+
+    def test_result_requires_full_drain(self):
+        engine = make_engine(np.ones((3, 3)), n=3)
+        with pytest.raises(RuntimeError):
+            engine.result(n_configs=0, makespan=0.0)
+
+    def test_conservation_across_mechanisms(self):
+        rng = np.random.default_rng(3)
+        n = 6
+        demand = rng.uniform(0, 5, (n, n)) * (rng.random((n, n)) < 0.5)
+        params = fast_ocs_params(n)
+        engine = FluidEngine(demand, params)
+        filtered = np.where(demand < 2.0, demand, 0.0)
+        engine.assign_composite(filtered)
+        circuits = np.zeros((n, n), dtype=np.int8)
+        circuits[0, 0] = 1
+        engine.run_phase(0.05, circuits=circuits, composites=[CompositeService("o2m", 1)])
+        engine.merge_composite_into_regular()
+        engine.run_phase(None)
+        result = engine.result(n_configs=1, makespan=0.07)
+        result.check_conservation()
+        delivered = result.served_eps + result.served_composite + result.served_ocs_direct
+        assert delivered == pytest.approx(demand.sum(), rel=1e-6)
+
+    def test_segments_are_contiguous(self):
+        engine = make_engine(np.ones((3, 3)), n=3)
+        engine.run_phase(None)
+        for before, after in zip(engine.segments, engine.segments[1:]):
+            assert after.start == pytest.approx(before.end)

@@ -1,0 +1,107 @@
+"""Packet-level crossbar tests + fluid-model cross-validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hybrid.schedule import Schedule
+from repro.sim.hybrid_sim import simulate_hybrid
+from repro.sim.packetlevel import PacketLevelEps
+from repro.switch.params import fast_ocs_params
+
+
+class TestArbiter:
+    def test_matching_is_one_to_one(self):
+        eps = PacketLevelEps(4)
+        backlog = np.ones((4, 4))
+        matching = eps.arbitrate(backlog)
+        inputs = [i for i, _ in matching]
+        outputs = [j for _, j in matching]
+        assert len(set(inputs)) == len(inputs)
+        assert len(set(outputs)) == len(outputs)
+
+    def test_full_backlog_gives_full_matching(self):
+        eps = PacketLevelEps(4)
+        matching = eps.arbitrate(np.ones((4, 4)))
+        assert len(matching) == 4
+
+    def test_only_requested_pairs_matched(self):
+        eps = PacketLevelEps(4)
+        backlog = np.zeros((4, 4))
+        backlog[0, 2] = 1.0
+        backlog[3, 1] = 1.0
+        matching = sorted(eps.arbitrate(backlog))
+        assert matching == [(0, 2), (3, 1)]
+
+    def test_empty_backlog_gives_empty_matching(self):
+        eps = PacketLevelEps(4)
+        assert eps.arbitrate(np.zeros((4, 4))) == []
+
+    def test_pointers_desynchronize(self):
+        # Two inputs contending for one output alternate slots under the
+        # round-robin pointer update.
+        eps = PacketLevelEps(2)
+        backlog = np.zeros((2, 2))
+        backlog[0, 0] = backlog[1, 0] = 10.0
+        winners = [eps.arbitrate(backlog)[0][0] for _ in range(4)]
+        assert set(winners) == {0, 1}
+
+
+class TestDrain:
+    def test_single_flow_drain_time(self):
+        eps = PacketLevelEps(4, eps_rate=10.0, slot_duration=0.01)
+        demand = np.zeros((4, 4))
+        demand[0, 1] = 10.0  # 10 Mb at 10 Mb/ms -> 1 ms -> 100 slots
+        result = eps.drain(demand)
+        assert result.slots_used == 100
+        assert result.completion_time == pytest.approx(1.0)
+
+    def test_conservation_and_counts(self):
+        rng = np.random.default_rng(0)
+        demand = rng.uniform(0, 2, (4, 4)) * (rng.random((4, 4)) < 0.5)
+        eps = PacketLevelEps(4)
+        result = eps.drain(demand)
+        demanded = demand > 0
+        assert not np.isnan(result.finish_times[demanded]).any()
+        assert result.cells_transferred >= (demand > 0).sum()
+
+    def test_rejects_runaway(self):
+        eps = PacketLevelEps(4)
+        demand = np.zeros((4, 4))
+        demand[0, 1] = 100.0
+        with pytest.raises(RuntimeError):
+            eps.drain(demand, max_slots=3)
+
+
+class TestFluidCrossValidation:
+    """The fluid EPS model matches the slotted crossbar's drain times."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_completion_times_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 8
+        demand = rng.uniform(0.5, 3.0, (n, n)) * (rng.random((n, n)) < 0.4)
+        if demand.sum() == 0:
+            pytest.skip("empty draw")
+        params = fast_ocs_params(n)
+        fluid = simulate_hybrid(
+            demand, Schedule(entries=(), reconfig_delay=params.reconfig_delay), params
+        )
+        packet = PacketLevelEps(n, eps_rate=params.eps_rate, slot_duration=0.005).drain(demand)
+        # Slot quantization and arbiter granularity cost at most ~10%.
+        assert packet.completion_time == pytest.approx(fluid.completion_time, rel=0.12)
+
+    def test_bottleneck_port_drain_matches_exactly(self):
+        # A pure fan-in: the output port is the only bottleneck and both
+        # models must drain it at exactly Ce.
+        n = 6
+        demand = np.zeros((n, n))
+        demand[0:5, 5] = 2.0  # 10 Mb into port 5
+        params = fast_ocs_params(n)
+        fluid = simulate_hybrid(
+            demand, Schedule(entries=(), reconfig_delay=params.reconfig_delay), params
+        )
+        packet = PacketLevelEps(n, eps_rate=params.eps_rate, slot_duration=0.01).drain(demand)
+        assert fluid.completion_time == pytest.approx(1.0)
+        assert packet.completion_time == pytest.approx(1.0, rel=0.05)

@@ -1,0 +1,114 @@
+"""Tests for the leaf-spine hybrid fabric (§4 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import CpSwitchScheduler
+from repro.hybrid.solstice import SolsticeScheduler
+from repro.sim import simulate_cp, simulate_hybrid
+from repro.topology.leafspine import (
+    COMPOSITE_LINK,
+    EPS_UPLINK,
+    OCS_UPLINK,
+    LeafSpineFabric,
+    LeafSpineParams,
+)
+
+
+@pytest.fixture
+def fabric():
+    return LeafSpineFabric(
+        LeafSpineParams(
+            n_leaves=16,
+            n_eps_spines=2,
+            n_ocs_spines=1,
+            eps_link_rate=5.0,
+            ocs_link_rate=100.0,
+            n_composite_links=2,
+        )
+    )
+
+
+class TestConstruction:
+    def test_node_counts(self, fabric):
+        assert len(fabric.leaves()) == 16
+        assert len(fabric.spines("eps-spine")) == 2
+        assert len(fabric.spines("ocs-spine")) == 1
+
+    def test_edge_counts(self, fabric):
+        assert len(fabric.edges_of_kind(EPS_UPLINK)) == 16 * 2
+        assert len(fabric.edges_of_kind(OCS_UPLINK)) == 16 * 1
+        assert len(fabric.edges_of_kind(COMPOSITE_LINK)) == 2
+
+    def test_composite_routes_cross_planes(self, fabric):
+        for ocs, eps in fabric.composite_path_hops():
+            assert ocs.startswith("ocs")
+            assert eps.startswith("eps")
+
+    def test_rejects_tiny_fabric(self):
+        with pytest.raises(ValueError):
+            LeafSpineParams(n_leaves=1)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            LeafSpineParams(n_leaves=4, eps_link_rate=0.0)
+
+
+class TestCapacities:
+    def test_leaf_eps_capacity_sums_uplinks(self, fabric):
+        assert fabric.leaf_eps_capacity(0) == pytest.approx(10.0)  # 2 x 5
+        assert fabric.leaf_eps_capacity("leaf3") == pytest.approx(10.0)
+
+    def test_leaf_ocs_capacity_is_one_circuit(self, fabric):
+        assert fabric.leaf_ocs_capacity(0) == pytest.approx(100.0)
+
+    def test_bisection_bandwidth(self, fabric):
+        assert fabric.eps_bisection_bandwidth() == pytest.approx(8 * 10.0)
+
+    def test_oversubscription(self, fabric):
+        # 220 Mb/ms of downlinks over 110 Mb/ms of uplinks -> 2:1.
+        assert fabric.oversubscription(220.0) == pytest.approx(2.0)
+
+
+class TestReduction:
+    def test_equivalent_params_match_paper_switch(self, fabric):
+        params = fabric.equivalent_switch_params()
+        assert params.n_ports == 16
+        assert params.eps_rate == pytest.approx(10.0)
+        assert params.ocs_rate == pytest.approx(100.0)
+
+    def test_plain_fabric_has_no_composite_support(self):
+        fabric = LeafSpineFabric(LeafSpineParams(n_leaves=8, n_composite_links=0))
+        assert not fabric.supports_cp_scheduling()
+
+    def test_composite_fabric_supports_cp(self, fabric):
+        assert fabric.supports_cp_scheduling()
+
+    def test_end_to_end_scheduling_on_fabric_params(self, fabric):
+        # The paper's scaling claim: the single-switch algorithms run
+        # unmodified against the fabric's reduced parameters.
+        params = fabric.equivalent_switch_params()
+        demand = np.zeros((16, 16))
+        demand[0, 1:15] = 1.2
+        h_res = simulate_hybrid(
+            demand, SolsticeScheduler().schedule(demand, params), params
+        )
+        cp_sched = CpSwitchScheduler(SolsticeScheduler()).schedule(demand, params)
+        cp_res = simulate_cp(demand, cp_sched, params)
+        assert cp_res.completion_time < h_res.completion_time
+
+    def test_validate_nonblocking_passes(self, fabric):
+        fabric.validate_nonblocking()
+
+    def test_validate_detects_missing_ocs_uplink(self, fabric):
+        # Sever leaf0's OCS uplink and expect validation to fail.
+        edges = [
+            (u, v, k)
+            for u, v, k, d in fabric.graph.edges(keys=True, data=True)
+            if d["kind"] == OCS_UPLINK and ("leaf0" in (u, v))
+        ]
+        fabric.graph.remove_edges_from(edges)
+        with pytest.raises(ValueError):
+            fabric.validate_nonblocking()

@@ -1,0 +1,231 @@
+"""Tests for the paper's demand models (§3.2–§3.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FilterConfig
+from repro.switch.params import fast_ocs_params, slow_ocs_params
+from repro.workloads.background import TypicalBackgroundWorkload
+from repro.workloads.base import DemandSpec, merge_specs, volume_scale_for
+from repro.workloads.combined import CombinedWorkload
+from repro.workloads.skewed import SkewedWorkload
+from repro.workloads.varying import VaryingSkewWorkload
+
+
+class TestVolumeScale:
+    def test_fast_is_unit(self):
+        assert volume_scale_for(fast_ocs_params(32)) == 1.0
+
+    def test_slow_is_hundredfold(self):
+        assert volume_scale_for(slow_ocs_params(32)) == 100.0
+
+
+class TestSkewedWorkload:
+    def test_structure(self, rng):
+        spec = SkewedWorkload().generate(32, rng)
+        assert len(spec.o2m_senders) == 1
+        assert len(spec.m2o_receivers) == 1
+        sender = spec.o2m_senders[0]
+        receiver = spec.m2o_receivers[0]
+        # All o2m entries in the sender's row, all m2o in receiver's column.
+        assert set(np.nonzero(spec.o2m_mask)[0]) == {sender}
+        assert set(np.nonzero(spec.m2o_mask)[1]) == {receiver}
+
+    def test_fanout_in_paper_range(self, rng):
+        for _ in range(10):
+            spec = SkewedWorkload().generate(32, rng)
+            fanout = int(spec.o2m_mask.sum())
+            assert int(np.ceil(0.7 * 32)) <= fanout <= 31
+
+    def test_volumes_in_paper_range(self, rng):
+        spec = SkewedWorkload().generate(32, rng)
+        # Entries hosting both an o2m and an m2o contribution may sum to
+        # up to 2 * 1.3; pure entries sit in [1, 1.3].
+        pure_o2m = spec.o2m_mask & ~spec.m2o_mask
+        values = spec.demand[pure_o2m]
+        assert (values >= 1.0).all() and (values <= 1.3).all()
+
+    def test_slow_scale_applied(self, rng):
+        spec = SkewedWorkload(volume_scale=100.0).generate(32, rng)
+        pure = spec.o2m_mask & ~spec.m2o_mask
+        values = spec.demand[pure]
+        assert (values >= 100.0).all() and (values <= 130.0).all()
+
+    def test_no_self_traffic(self, rng):
+        for _ in range(5):
+            spec = SkewedWorkload(n_senders=2, n_receivers=2).generate(16, rng)
+            assert np.diagonal(spec.demand).sum() == 0.0
+
+    def test_passes_paper_filter(self, rng):
+        # The §3.2 demand must be captured by the §2.2 filter at paper
+        # defaults; otherwise the composite paths would sit idle.
+        params = fast_ocs_params(32)
+        config = FilterConfig()
+        spec = SkewedWorkload.for_params(params).generate(32, rng)
+        assert VaryingSkewWorkload.filter_captures_skew(
+            spec,
+            config.resolve_fanout_threshold(params),
+            config.resolve_volume_threshold(params),
+        )
+
+    def test_too_many_ports_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SkewedWorkload(n_senders=5, n_receivers=5).generate(8, rng)
+
+    def test_reproducible_per_seed(self):
+        a = SkewedWorkload().generate(32, np.random.default_rng(3))
+        b = SkewedWorkload().generate(32, np.random.default_rng(3))
+        np.testing.assert_array_equal(a.demand, b.demand)
+
+
+class TestBackgroundWorkload:
+    def test_flow_mix(self, rng):
+        workload = TypicalBackgroundWorkload(active_port_fraction=1.0)
+        spec = workload.generate(64, rng)
+        row_sums = spec.demand.sum(axis=1)
+        # Every active port carries 4*30 + 12*3 = 156 Mb.
+        np.testing.assert_allclose(row_sums[row_sums > 0], 156.0)
+        assert (row_sums > 0).sum() == 64
+
+    def test_active_fraction(self, rng):
+        workload = TypicalBackgroundWorkload(active_port_fraction=0.25)
+        spec = workload.generate(64, rng)
+        assert (spec.demand.sum(axis=1) > 0).sum() == 16
+
+    def test_elephant_byte_share(self, rng):
+        workload = TypicalBackgroundWorkload()
+        spec = workload.generate(128, rng)
+        total = spec.total_volume
+        elephant_bytes = 4 * 30.0 * 32  # 4 per active port, 32 active
+        assert elephant_bytes / total == pytest.approx(120 / 156, rel=1e-9)
+
+    def test_intensive_quadruples_density(self, rng):
+        typical = TypicalBackgroundWorkload()
+        intensive = typical.intensive(4)
+        assert intensive.active_port_fraction == pytest.approx(1.0)
+        assert intensive.n_elephants == typical.n_elephants
+        spec_t = typical.generate(64, np.random.default_rng(0))
+        spec_i = intensive.generate(64, np.random.default_rng(0))
+        density_t = (spec_t.demand > 0).mean()
+        density_i = (spec_i.demand > 0).mean()
+        assert density_i > 3.0 * density_t  # ~4x, minus collision merging
+
+    def test_intensive_beyond_full_ports_scales_flows(self):
+        workload = TypicalBackgroundWorkload(active_port_fraction=0.5)
+        intensive = workload.intensive(4)
+        assert intensive.active_port_fraction == 1.0
+        assert intensive.n_elephants == 8
+
+    def test_no_skew_masks(self, rng):
+        spec = TypicalBackgroundWorkload().generate(32, rng)
+        assert not spec.skewed_mask.any()
+
+    def test_no_self_traffic(self, rng):
+        spec = TypicalBackgroundWorkload(active_port_fraction=1.0).generate(16, rng)
+        assert np.diagonal(spec.demand).sum() == 0.0
+
+    def test_slow_scale(self, rng):
+        spec = TypicalBackgroundWorkload(
+            active_port_fraction=1.0, volume_scale=100.0
+        ).generate(16, rng)
+        row_sums = spec.demand.sum(axis=1)
+        np.testing.assert_allclose(row_sums, 15600.0)
+
+
+class TestCombinedWorkload:
+    def test_reduction_removes_about_1_63n_entries(self):
+        # §3.3: "the mean number of non-zero entries in the reduced demand
+        # matrix for cp-Switch is lower by 1.63*n".  With fan-out uniform
+        # in [0.7n, n] per direction the filtered entries average ~1.7n and
+        # the reduction adds ~2 composite aggregates: ~1.6n-1.7n net.
+        params = fast_ocs_params(32)
+        config = FilterConfig()
+        workload = CombinedWorkload.typical(params)
+        from repro.core.reduction import cp_switch_demand_reduction
+
+        deltas = []
+        for seed in range(10):
+            spec = workload.generate(32, np.random.default_rng(seed))
+            reduction = cp_switch_demand_reduction(
+                spec.demand,
+                config.resolve_fanout_threshold(params),
+                config.resolve_volume_threshold(params),
+            )
+            deltas.append(
+                int((spec.demand > 0).sum()) - int((reduction.reduced > 0).sum())
+            )
+        mean_delta = np.mean(deltas) / 32
+        assert 1.4 <= mean_delta <= 1.9
+
+    def test_superposition(self, rng):
+        params = fast_ocs_params(32)
+        workload = CombinedWorkload.typical(params)
+        spec = workload.generate(32, rng)
+        assert spec.skewed_mask.any()
+        assert spec.background_mask.any()
+        assert spec.total_volume > spec.skewed_volume > 0
+
+    def test_intensive_variant_denser(self):
+        params = fast_ocs_params(64)
+        typical = CombinedWorkload.typical(params).generate(64, np.random.default_rng(1))
+        intensive = CombinedWorkload.intensive(params).generate(64, np.random.default_rng(1))
+        assert (intensive.demand > 0).sum() > (typical.demand > 0).sum()
+
+    def test_merge_specs_requires_same_radix(self, rng):
+        a = SkewedWorkload().generate(16, rng)
+        b = SkewedWorkload().generate(32, rng)
+        with pytest.raises(ValueError):
+            merge_specs(a, b)
+
+    def test_merge_sums_demand_and_unions_masks(self, rng):
+        a = SkewedWorkload().generate(16, rng)
+        b = TypicalBackgroundWorkload().generate(16, rng)
+        merged = merge_specs(a, b)
+        np.testing.assert_allclose(merged.demand, a.demand + b.demand)
+        assert merged.skewed_volume >= a.skewed_volume
+
+
+class TestVaryingSkewWorkload:
+    def test_port_counts(self, rng):
+        params = fast_ocs_params(64)
+        workload = VaryingSkewWorkload.for_params(params, n_skewed_ports=4)
+        spec = workload.generate(64, rng)
+        assert len(spec.o2m_senders) == 4
+        assert len(spec.m2o_receivers) == 4
+
+    def test_skew_always_captured_by_filter(self):
+        # Figure 11's premise: the skewed demand is "generated such that
+        # [it is] chosen to be served by the composite paths" — the
+        # generator must guarantee full filter capture, every draw.
+        params = fast_ocs_params(64)
+        config = FilterConfig()
+        workload = VaryingSkewWorkload.for_params(params, n_skewed_ports=2)
+        for seed in range(10):
+            spec = workload.generate(64, np.random.default_rng(seed))
+            assert VaryingSkewWorkload.filter_captures_skew(
+                spec,
+                config.resolve_fanout_threshold(params),
+                config.resolve_volume_threshold(params),
+            )
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ValueError):
+            VaryingSkewWorkload(n_skewed_ports=0)
+
+
+class TestDemandSpec:
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            DemandSpec(
+                demand=np.zeros((3, 3)),
+                skewed_mask=np.zeros((2, 2), dtype=bool),
+                o2m_mask=np.zeros((3, 3), dtype=bool),
+                m2o_mask=np.zeros((3, 3), dtype=bool),
+            )
+
+    def test_immutable(self, rng):
+        spec = SkewedWorkload().generate(16, rng)
+        with pytest.raises(ValueError):
+            spec.demand[0, 0] = 1.0

@@ -1,0 +1,130 @@
+"""Perf-tracking micro-benchmark: seed pipeline vs optimized pipeline.
+
+Unlike the ``bench_fig*.py`` files (which reproduce the paper's figures),
+this benchmark tracks the *implementation*: it times schedule + simulate
+for the h-Switch and cp-Switch pipelines at each radix, once through the
+frozen seed kernels (:mod:`repro.sim.reference`, "before") and once
+through the live library ("after"), asserting along the way that both
+produce bit-identical simulations on the seeded Figure 5/6 workload.
+
+The machine-readable report lands in ``BENCH_engine.json`` at the repo
+root so later PRs can diff wall-clock numbers against a recorded
+baseline.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py            # full suite
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick    # CI: radix 32
+
+``--min-speedup X`` exits non-zero if the headline (largest-radix
+Solstice schedule+simulate) speedup falls below ``X`` — the CI guard
+against quietly regressing the hot path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.perf import DEFAULT_SEED, STAGES, run_suite, write_report  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+
+def _parse_radices(raw: str) -> "tuple[int, ...]":
+    values = tuple(int(part) for part in raw.split(",") if part.strip())
+    if not values:
+        raise argparse.ArgumentTypeError(f"no radices in {raw!r}")
+    return values
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--radices",
+        type=_parse_radices,
+        default=(32, 64, 128),
+        help="comma-separated radix sweep (default: 32,64,128)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=2, help="seeded demands per point (default: 2)"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="timing repeats per point; per-stage minimum is kept (default: 2)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="root demand seed"
+    )
+    parser.add_argument(
+        "--ocs", choices=("fast", "slow"), default="fast", help="OCS class"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: radix 32 only, 1 trial, 1 repeat",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the headline speedup is below this factor",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"report path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.radices, args.trials, args.repeats = (32,), 1, 1
+
+    payload = run_suite(
+        radices=args.radices,
+        ocs=args.ocs,
+        n_trials=args.trials,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    path = write_report(payload, args.output)
+
+    header = f"{'point':<16}" + "".join(f"{s:>14}" for s in STAGES) + f"{'total':>12}{'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for point in payload["points"]:
+        label = f"{point['scheduler']}/{point['radix']}"
+        for side in ("before_s", "after_s"):
+            row = f"{label + ' ' + side[:-2]:<16}"
+            row += "".join(f"{point[side][s] * 1e3:>12.2f}ms" for s in STAGES)
+            row += f"{point[side]['total'] * 1e3:>10.2f}ms"
+            row += f"{point['speedup']:>8.2f}x" if side == "after_s" else ""
+            print(row)
+    print(f"\nall points bit-identical; report written to {path}")
+
+    headline = payload["headline_speedup"].get("solstice")
+    if headline is None:  # pragma: no cover - solstice is always in the suite
+        headline = max(payload["headline_speedup"].values())
+    print(
+        f"headline: radix-{payload['headline_radix']} solstice "
+        f"schedule+simulate speedup {headline:.2f}x"
+    )
+    if args.min_speedup is not None and headline < args.min_speedup:
+        print(
+            f"FAIL: headline speedup {headline:.2f}x < required "
+            f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

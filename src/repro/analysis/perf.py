@@ -1,0 +1,363 @@
+"""Perf-tracking harness for the scheduling/simulation hot paths.
+
+The vectorization work (flat-support fluid engine, batched QuickStuff,
+direct-CSR matching, list-based greedy reduction) is only trustworthy if
+two things hold *simultaneously*:
+
+1. the optimized pipeline is **measurably faster** than the seed pipeline,
+   and
+2. it produces **bit-identical simulations** — same per-entry finish
+   times, same completion times, conservation intact.
+
+This module checks both on every run.  The "before" side composes the
+frozen seed kernels from :mod:`repro.sim.reference`; the "after" side is
+the live library.  Both schedule and simulate the *same* seeded demand
+matrices (the Figure 5/6 benchmark workload: :class:`SkewedWorkload`,
+root seed 2016), and every trial's before/after simulation results are
+compared entry-for-entry before any timing is reported.
+
+``benchmarks/bench_perf.py`` is the CLI wrapper; it writes the machine-
+readable report to ``BENCH_engine.json`` at the repo root so future PRs
+can diff wall-clock numbers against a recorded baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.figures import DEFAULT_SEED, params_for
+from repro.core.config import FilterConfig
+from repro.core.cpsched import cpsched
+from repro.core.divide import divide_by_type
+from repro.core.scheduler import (
+    CompositeScheduleEntry,
+    CpSchedule,
+    CpSwitchScheduler,
+)
+from repro.hybrid.base import make_scheduler
+from repro.hybrid.schedule import Schedule
+from repro.sim import simulate_cp, simulate_hybrid
+from repro.sim.engine import CompositeService
+from repro.sim.metrics import SimulationResult
+from repro.sim.reference import (
+    ReferenceFluidEngine,
+    reference_cp_switch_demand_reduction,
+    reference_solstice_schedule,
+)
+from repro.switch.params import SwitchParams
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import check_demand_matrix
+from repro.workloads.skewed import SkewedWorkload
+
+#: The stages every point is timed over, in pipeline order.
+STAGES: "tuple[str, ...]" = ("h_schedule", "h_simulate", "cp_schedule", "cp_simulate")
+
+#: Scheduler name → the paper figure its pairing reproduces.
+FIGURE_FOR: "dict[str, str]" = {"solstice": "fig5", "eclipse": "fig6"}
+
+
+# ---------------------------------------------------------------------- #
+# reference ("before") pipeline composition
+# ---------------------------------------------------------------------- #
+
+
+def _reference_inner(scheduler: str):
+    """The seed h-Switch sub-scheduler for ``scheduler``.
+
+    Solstice is rebuilt from the seed stuffing/matching kernels; Eclipse's
+    code was not touched by the vectorization work, so the live scheduler
+    *is* the reference one.
+    """
+    if scheduler == "solstice":
+        return reference_solstice_schedule
+    return make_scheduler(scheduler).schedule
+
+
+def reference_hybrid_schedule(
+    demand: np.ndarray, params: SwitchParams, scheduler: str = "solstice"
+) -> Schedule:
+    """h-Switch schedule via the seed kernels."""
+    return _reference_inner(scheduler)(demand, params)
+
+
+def reference_cp_schedule(
+    demand: np.ndarray,
+    params: SwitchParams,
+    scheduler: str = "solstice",
+    filter_config: "FilterConfig | None" = None,
+) -> CpSchedule:
+    """Algorithm 4 composed from the seed kernels.
+
+    Mirrors :meth:`repro.core.scheduler.CpSwitchScheduler.schedule` with
+    the seed reduction and (for Solstice) the seed sub-scheduler; the
+    DivideByType/CPSched interpretation loop was never rewritten, so it is
+    shared with the live scheduler.
+    """
+    config = filter_config or FilterConfig()
+    demand = check_demand_matrix(demand)
+    reduction = reference_cp_switch_demand_reduction(
+        demand,
+        fanout_threshold=config.resolve_fanout_threshold(params),
+        volume_threshold=config.resolve_volume_threshold(params),
+    )
+    reduced_schedule = _reference_inner(scheduler)(reduction.reduced, params)
+
+    eps_budget = params.effective_eps_budget
+    filtered = reduction.filtered.copy()
+    entries: "list[CompositeScheduleEntry]" = []
+    for item in reduced_schedule:
+        previous = filtered.copy()
+        divided = divide_by_type(item.permutation)
+        if divided.o2m_port is not None:
+            r = divided.o2m_port
+            filtered[r, :] = cpsched(
+                filtered[r, :], item.duration, params.ocs_rate, eps_budget
+            )
+        if divided.m2o_port is not None:
+            c = divided.m2o_port
+            filtered[:, c] = cpsched(
+                filtered[:, c], item.duration, params.ocs_rate, eps_budget
+            )
+        entries.append(
+            CompositeScheduleEntry(
+                regular=divided.regular,
+                duration=item.duration,
+                composite_served=previous - filtered,
+                o2m_port=divided.o2m_port,
+                m2o_port=divided.m2o_port,
+            )
+        )
+    return CpSchedule(
+        entries=tuple(entries),
+        reconfig_delay=params.reconfig_delay,
+        reduction=reduction,
+        filtered_residual=filtered,
+        reduced_schedule=reduced_schedule,
+    )
+
+
+def reference_simulate_hybrid(
+    demand: np.ndarray, schedule: Schedule, params: SwitchParams
+) -> SimulationResult:
+    """Run-to-completion h-Switch execution on the seed engine."""
+    engine = ReferenceFluidEngine(np.asarray(demand, dtype=np.float64), params)
+    for entry in schedule:
+        engine.run_phase(params.reconfig_delay)
+        engine.run_phase(entry.duration, circuits=entry.permutation)
+    engine.run_phase(None)
+    return engine.result(n_configs=schedule.n_configs, makespan=schedule.makespan)
+
+
+def reference_simulate_cp(
+    demand: np.ndarray, cp_schedule: CpSchedule, params: SwitchParams
+) -> SimulationResult:
+    """Run-to-completion cp-Switch execution on the seed engine."""
+    engine = ReferenceFluidEngine(np.asarray(demand, dtype=np.float64), params)
+    engine.assign_composite(cp_schedule.reduction.filtered)
+    for entry in cp_schedule.entries:
+        engine.run_phase(params.reconfig_delay)
+        composites: "list[CompositeService]" = []
+        if entry.o2m_port is not None:
+            composites.append(CompositeService(kind="o2m", port=entry.o2m_port))
+        if entry.m2o_port is not None:
+            composites.append(CompositeService(kind="m2o", port=entry.m2o_port))
+        engine.run_phase(entry.duration, circuits=entry.regular, composites=composites)
+    engine.merge_composite_into_regular()
+    engine.run_phase(None)
+    return engine.result(
+        n_configs=cp_schedule.n_configs, makespan=cp_schedule.makespan
+    )
+
+
+# ---------------------------------------------------------------------- #
+# equivalence
+# ---------------------------------------------------------------------- #
+
+
+def assert_results_equivalent(
+    before: SimulationResult, after: SimulationResult, context: str = ""
+) -> None:
+    """Raise :class:`AssertionError` unless two simulations agree.
+
+    Finish times and completion time must be bit-identical; served-volume
+    breakdowns may differ by summation order (pairwise vs flat), so they
+    get a relative ulp-scale tolerance.  Conservation was already checked
+    inside each ``result()`` call.
+    """
+    where = f" [{context}]" if context else ""
+    if not np.array_equal(before.finish_times, after.finish_times, equal_nan=True):
+        raise AssertionError(f"finish_times differ{where}")
+    same_completion = before.completion_time == after.completion_time or (
+        np.isnan(before.completion_time) and np.isnan(after.completion_time)
+    )
+    if not same_completion:
+        raise AssertionError(
+            f"completion_time {before.completion_time!r} != "
+            f"{after.completion_time!r}{where}"
+        )
+    if before.n_configs != after.n_configs:
+        raise AssertionError(f"n_configs differ{where}")
+    if before.makespan != after.makespan:
+        raise AssertionError(f"makespan differs{where}")
+    for attr in ("served_ocs_direct", "served_composite", "served_eps"):
+        b, a = getattr(before, attr), getattr(after, attr)
+        if abs(b - a) > 1e-9 * max(1.0, abs(b)):
+            raise AssertionError(f"{attr} {b!r} != {a!r}{where}")
+
+
+# ---------------------------------------------------------------------- #
+# timing
+# ---------------------------------------------------------------------- #
+
+
+def _run_pipeline(demands, params: SwitchParams, scheduler: str, *, reference: bool):
+    """Schedule + simulate every demand once; return (stage seconds, results).
+
+    Results are ``(h_result, cp_result)`` pairs in trial order.
+    """
+    times = dict.fromkeys(STAGES, 0.0)
+    results = []
+    if not reference:
+        inner = make_scheduler(scheduler)
+        cp_scheduler = CpSwitchScheduler(inner)
+    for demand in demands:
+        start = time.perf_counter()
+        if reference:
+            h_sched = reference_hybrid_schedule(demand, params, scheduler)
+        else:
+            h_sched = inner.schedule(demand, params)
+        t1 = time.perf_counter()
+        if reference:
+            h_result = reference_simulate_hybrid(demand, h_sched, params)
+        else:
+            h_result = simulate_hybrid(demand, h_sched, params)
+        t2 = time.perf_counter()
+        if reference:
+            cp_sched = reference_cp_schedule(demand, params, scheduler)
+        else:
+            cp_sched = cp_scheduler.schedule(demand, params)
+        t3 = time.perf_counter()
+        if reference:
+            cp_result = reference_simulate_cp(demand, cp_sched, params)
+        else:
+            cp_result = simulate_cp(demand, cp_sched, params)
+        t4 = time.perf_counter()
+        times["h_schedule"] += t1 - start
+        times["h_simulate"] += t2 - t1
+        times["cp_schedule"] += t3 - t2
+        times["cp_simulate"] += t4 - t3
+        results.append((h_result, cp_result))
+    return times, results
+
+
+def bench_point(
+    n_ports: int,
+    scheduler: str = "solstice",
+    ocs: str = "fast",
+    n_trials: int = 2,
+    seed: int = DEFAULT_SEED,
+    repeats: int = 2,
+) -> dict:
+    """Time the before/after pipelines on one (radix, scheduler) point.
+
+    Every repeat re-runs the full pipeline on the same seeded demands;
+    per-stage times are the minimum across repeats (standard micro-bench
+    practice — the minimum is the least noisy estimator of the true cost).
+    Before/after simulation results are asserted equivalent on every trial
+    of every repeat.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    params = params_for(ocs, n_ports)
+    workload = SkewedWorkload.for_params(params)
+    demands = [
+        workload.generate(params.n_ports, rng).demand
+        for rng in spawn_rngs(seed, n_trials)
+    ]
+
+    before = dict.fromkeys(STAGES, np.inf)
+    after = dict.fromkeys(STAGES, np.inf)
+    for _ in range(repeats):
+        ref_times, ref_results = _run_pipeline(
+            demands, params, scheduler, reference=True
+        )
+        opt_times, opt_results = _run_pipeline(
+            demands, params, scheduler, reference=False
+        )
+        for stage in STAGES:
+            before[stage] = min(before[stage], ref_times[stage])
+            after[stage] = min(after[stage], opt_times[stage])
+        for trial, ((ref_h, ref_cp), (opt_h, opt_cp)) in enumerate(
+            zip(ref_results, opt_results)
+        ):
+            ctx = f"{scheduler} radix={n_ports} trial={trial}"
+            assert_results_equivalent(ref_h, opt_h, f"h-switch {ctx}")
+            assert_results_equivalent(ref_cp, opt_cp, f"cp-switch {ctx}")
+
+    before["total"] = sum(before[s] for s in STAGES)
+    after["total"] = sum(after[s] for s in STAGES)
+    return {
+        "radix": n_ports,
+        "scheduler": scheduler,
+        "figure": FIGURE_FOR.get(scheduler, scheduler),
+        "ocs": ocs,
+        "n_trials": n_trials,
+        "repeats": repeats,
+        "before_s": {k: round(v, 6) for k, v in before.items()},
+        "after_s": {k: round(v, 6) for k, v in after.items()},
+        "speedup": round(before["total"] / after["total"], 3)
+        if after["total"] > 0
+        else float("inf"),
+        "bit_identical": True,  # assert_results_equivalent raised otherwise
+    }
+
+
+def run_suite(
+    radices: "tuple[int, ...]" = (32, 64, 128),
+    schedulers: "tuple[str, ...]" = ("solstice", "eclipse"),
+    ocs: str = "fast",
+    n_trials: int = 2,
+    seed: int = DEFAULT_SEED,
+    repeats: int = 2,
+) -> dict:
+    """Run every (radix, scheduler) point and assemble the JSON payload."""
+    points = [
+        bench_point(
+            n_ports=n,
+            scheduler=scheduler,
+            ocs=ocs,
+            n_trials=n_trials,
+            seed=seed,
+            repeats=repeats,
+        )
+        for scheduler in schedulers
+        for n in radices
+    ]
+    top_radix = max(radices)
+    headline = {
+        p["scheduler"]: p["speedup"] for p in points if p["radix"] == top_radix
+    }
+    return {
+        "benchmark": "engine-hot-path",
+        "seed": seed,
+        "ocs": ocs,
+        "trials_per_point": n_trials,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "points": points,
+        "headline_radix": top_radix,
+        "headline_speedup": headline,
+    }
+
+
+def write_report(payload: dict, path: "str | Path") -> Path:
+    """Persist ``payload`` as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

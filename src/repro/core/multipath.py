@@ -85,6 +85,15 @@ class MultiPathReducedDemand:
     volume_threshold: float
     fanout_threshold: int
 
+    def __post_init__(self) -> None:
+        # Freeze the arrays, as the base ReducedDemand does: schedules keep
+        # this reduction as provenance and the simulator routes lanes off
+        # the path maps.
+        for name in ("reduced", "filtered", "o2m_path", "m2o_path"):
+            array = np.asarray(getattr(self, name))
+            array.setflags(write=False)
+            object.__setattr__(self, name, array)
+
     @property
     def n_ports(self) -> int:
         return self.filtered.shape[0]
@@ -226,6 +235,14 @@ class MultiPathCpSchedule:
     reduction: MultiPathReducedDemand
     filtered_residual: np.ndarray
     reduced_schedule: Schedule
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "entries", tuple(self.entries))
+        # Freeze the residual, mirroring CpSchedule: the simulator reads it
+        # after scheduling to drain leftovers on the EPS.
+        residual = np.asarray(self.filtered_residual, dtype=np.float64)
+        residual.setflags(write=False)
+        object.__setattr__(self, "filtered_residual", residual)
 
     @property
     def n_configs(self) -> int:

@@ -33,11 +33,6 @@ from repro.core.config import FilterConfig
 from repro.switch.params import SwitchParams
 from repro.utils.validation import VOLUME_TOL, check_demand_matrix, check_nonnegative
 
-#: Index offset of the composite column/row: for an n-port switch the
-#: one-to-many column and many-to-one row both sit at index n.
-COMPOSITE_INDEX_OFFSET: int = 0
-
-
 @dataclass(frozen=True)
 class ReducedDemand:
     """Output of Algorithm 1.
@@ -65,6 +60,16 @@ class ReducedDemand:
     m2o_assignment: np.ndarray
     volume_threshold: float
     fanout_threshold: int
+
+    def __post_init__(self) -> None:
+        # Freeze the arrays: schedules keep references to this reduction as
+        # provenance, and `o2m_loads`/`m2o_loads` are live views into
+        # `reduced` — a caller mutating any of them would silently corrupt
+        # every schedule derived from it.
+        for name in ("reduced", "filtered", "o2m_assignment", "m2o_assignment"):
+            array = np.asarray(getattr(self, name))
+            array.setflags(write=False)
+            object.__setattr__(self, name, array)
 
     @property
     def n_ports(self) -> int:
@@ -145,16 +150,34 @@ def cp_switch_demand_reduction(
     m2o_mask |= only_cols
 
     # Lines 12-15: both qualify -> greedily balance onto the lighter path.
-    both = nonzero & row_qualifies[:, None] & col_qualifies[None, :]
-    for i, j in zip(*np.nonzero(both)):
-        value = demand[i, j]
-        filtered[i, j] = value
-        if o2m_loads[i] <= m2o_loads[j]:
-            o2m_loads[i] += value
-            o2m_mask[i, j] = True
-        else:
-            m2o_loads[j] += value
-            m2o_mask[i, j] = True
+    # The greedy choice at each entry depends on the loads accumulated by
+    # every earlier entry, so the scan stays sequential — but it runs over
+    # plain Python floats (an order of magnitude cheaper than numpy scalar
+    # indexing) and batches the matrix/mask writes.  The per-entry
+    # arithmetic (one comparison, one addition) is unchanged, so the
+    # resulting loads and assignment are bit-identical.
+    both_rows, both_cols = np.nonzero(
+        nonzero & row_qualifies[:, None] & col_qualifies[None, :]
+    )
+    if both_rows.size:
+        values = demand[both_rows, both_cols]
+        filtered[both_rows, both_cols] = values
+        o2m = o2m_loads.tolist()
+        m2o = m2o_loads.tolist()
+        goes_o2m = [False] * both_rows.size
+        for k, (i, j, value) in enumerate(
+            zip(both_rows.tolist(), both_cols.tolist(), values.tolist())
+        ):
+            if o2m[i] <= m2o[j]:
+                o2m[i] = o2m[i] + value
+                goes_o2m[k] = True
+            else:
+                m2o[j] = m2o[j] + value
+        goes_o2m = np.asarray(goes_o2m, dtype=bool)
+        o2m_loads[:] = o2m
+        m2o_loads[:] = m2o
+        o2m_mask[both_rows[goes_o2m], both_cols[goes_o2m]] = True
+        m2o_mask[both_rows[~goes_o2m], both_cols[~goes_o2m]] = True
 
     # Line 16: remaining demand stays on regular paths.
     reduced[:n, :n] = demand - filtered

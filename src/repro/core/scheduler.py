@@ -109,6 +109,11 @@ class CpSchedule:
     def __post_init__(self) -> None:
         object.__setattr__(self, "entries", tuple(self.entries))
         check_nonnegative("reconfig_delay", self.reconfig_delay)
+        # Freeze the residual, mirroring CompositeScheduleEntry: it is part
+        # of the schedule's provenance and the simulator reads it later.
+        residual = np.asarray(self.filtered_residual, dtype=np.float64)
+        residual.setflags(write=False)
+        object.__setattr__(self, "filtered_residual", residual)
 
     def __len__(self) -> int:
         return len(self.entries)

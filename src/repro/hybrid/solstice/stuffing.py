@@ -47,15 +47,30 @@ def quick_stuff(demand: np.ndarray) -> np.ndarray:
         return stuffed  # empty demand stuffs to itself
 
     # Pass 1: absorb slack into existing non-zero entries, largest first.
+    # The scan is inherently sequential (each entry's slack depends on the
+    # updates before it), so it runs over plain Python floats — an order of
+    # magnitude cheaper than per-entry numpy scalar indexing — and the
+    # accumulated additions are written back to the matrix in one batch.
+    # The arithmetic (min of two float64 differences, one addition each) is
+    # identical operation-for-operation, so the result is bit-identical.
     rows, cols = np.nonzero(stuffed > VOLUME_TOL)
     order = np.argsort(-stuffed[rows, cols], kind="stable")
-    for k in order:
-        i, j = int(rows[k]), int(cols[k])
-        slack = min(phi - row_sums[i], phi - col_sums[j])
+    rows, cols = rows[order], cols[order]
+    row_list = rows.tolist()
+    col_list = cols.tolist()
+    rs = row_sums.tolist()
+    cs = col_sums.tolist()
+    added = [0.0] * len(row_list)
+    for k, (i, j) in enumerate(zip(row_list, col_list)):
+        ri, cj = rs[i], cs[j]
+        slack = min(phi - ri, phi - cj)
         if slack > 0:
-            stuffed[i, j] += slack
-            row_sums[i] += slack
-            col_sums[j] += slack
+            added[k] = slack
+            rs[i] = ri + slack
+            cs[j] = cj + slack
+    stuffed[rows, cols] += added  # (rows, cols) pairs are unique
+    row_sums = np.array(rs)
+    col_sums = np.array(cs)
 
     # Pass 2: pair remaining row slack with column slack on any entries.
     # Total row slack equals total column slack, so a greedy pairing always

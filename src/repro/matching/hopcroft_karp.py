@@ -111,7 +111,20 @@ def maximum_matching_mask(mask: np.ndarray, *, use_scipy: bool = True) -> "tuple
     """
     mask = np.asarray(mask, dtype=bool)
     if use_scipy and _scipy_matching is not None:
-        graph = _csr_matrix(mask)
+        # Build the CSR triplet directly: scipy's dense-matrix constructor
+        # routes through a COO intermediate whose Python-level validation
+        # dominates this call at Solstice's probe frequency.  The resulting
+        # indices/indptr are exactly the canonical dense→CSR conversion, so
+        # the matching is unchanged.
+        n_rows, n_cols = mask.shape
+        indices = np.flatnonzero(mask).astype(np.int32)
+        indptr = np.zeros(n_rows + 1, dtype=np.int32)
+        np.cumsum(mask.sum(axis=1, dtype=np.int32), out=indptr[1:])
+        indices %= n_cols
+        graph = _csr_matrix(
+            (np.ones(indices.size, dtype=np.int8), indices, indptr),
+            shape=(n_rows, n_cols),
+        )
         match_left = np.asarray(_scipy_matching(graph, perm_type="column"), dtype=np.int64)
         return match_left, int((match_left != UNMATCHED).sum())
     adjacency = _adjacency_from_mask(mask)

@@ -19,12 +19,28 @@ engine repeatedly:
 Every event drains at least one entry or ends the phase, so the engine
 performs O(non-zero entries + phases) rate computations per simulation.
 
+Hot-path layout: all per-event state lives in flat 1-D arrays over the
+*support* — the entries that can ever carry volume (``demand > VOLUME_TOL``,
+refreshed when :meth:`FluidEngine.assign_composite` or
+:meth:`FluidEngine.merge_composite_into_regular` move volume around).  The
+full ``regular`` / ``composite`` matrices are gathered into the flat arrays
+once at the start of each phase and scattered back once at the end, so an
+event costs O(nnz + n) instead of the O(n²) the seed implementation paid
+for rebuilding full rate matrices (see :mod:`repro.sim.reference` for that
+frozen baseline).  The support's flat indices are stored row-major sorted,
+which makes each row a contiguous slice (one-to-many composite paths) and
+keeps the EPS flow ordering identical to a full-matrix ``np.nonzero`` —
+the flat engine's event sequence, drains and finish times are bit-identical
+to the reference engine's.
+
 Demand placement: an entry's residual lives in exactly one of two matrices —
 ``regular`` (served by circuits + EPS) or ``composite`` (served only by
 composite paths while the schedule runs).  ``merge_composite_into_regular``
 moves unfinished composite residual back to the EPS for the final drain,
 matching the paper's model where filtered traffic not completed by the
-composite paths is ordinary packet traffic.
+composite paths is ordinary packet traffic.  Entries at or below
+``VOLUME_TOL`` are dust: they are never served and never counted as
+demanded.
 """
 
 from __future__ import annotations
@@ -34,12 +50,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sim.metrics import RateSegment, SimulationResult
-from repro.sim.rates import max_min_fair_rate_matrix
+from repro.sim.rates import max_min_fair_rates
 from repro.switch.params import SwitchParams
 from repro.utils.validation import VOLUME_TOL, check_demand_matrix
 
 #: Durations shorter than this (ms) are treated as elapsed.
 TIME_TOL: float = 1e-12
+
+_EMPTY_POS = np.empty(0, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -92,6 +110,51 @@ class FluidEngine:
         self.served_composite = 0.0
         self.served_eps = 0.0
         self.total_demand = float(demand.sum())
+        self._rebuild_support()
+
+    # ------------------------------------------------------------------ #
+    # support bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _rebuild_support(self) -> None:
+        """Re-derive the flat index bookkeeping from the current matrices.
+
+        Called whenever volume moves between matrices outside a phase
+        (construction, ``assign_composite``, ``merge_composite_into_regular``)
+        so the per-phase flat arrays always cover every entry that can
+        still carry volume.
+        """
+        support = (self.regular > VOLUME_TOL) | (self.composite > VOLUME_TOL)
+        rows, cols = np.nonzero(support)
+        n = self.n
+        self._rows = rows
+        self._cols = cols
+        self._nnz = rows.size
+        # Row-major nonzero order makes the flat keys strictly increasing,
+        # each row a contiguous slice, and the EPS flow order identical to
+        # a full-matrix np.nonzero scan.
+        self._flat = rows * np.int64(n) + cols
+        self._row_start = np.searchsorted(rows, np.arange(n + 1))
+        self._col_order = np.argsort(cols, kind="stable")
+        self._col_start = np.searchsorted(cols[self._col_order], np.arange(n + 1))
+        self._flat_demanded = self.demanded[rows, cols]
+        # Preallocated per-event buffers.
+        self._reg_rate = np.zeros(self._nnz)
+        self._comp_rate = np.zeros(self._nnz)
+        self._before = np.empty(self._nnz)
+        self._after = np.empty(self._nnz)
+        self._scratch = np.empty(self._nnz)
+        self._in_cap = np.empty(n)
+        self._out_cap = np.empty(n)
+
+    def _positions_of(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Flat support positions of the (row, col) pairs that are in it."""
+        if rows.size == 0 or self._nnz == 0:
+            return _EMPTY_POS
+        keys = rows.astype(np.int64) * np.int64(self.n) + cols
+        pos = np.searchsorted(self._flat, keys)
+        pos = np.minimum(pos, self._nnz - 1)
+        return pos[self._flat[pos] == keys]
 
     # ------------------------------------------------------------------ #
     # demand placement
@@ -112,11 +175,13 @@ class FluidEngine:
             raise RuntimeError("assign_composite must run before the first phase")
         self.regular = np.maximum(self.regular - filtered, 0.0)
         self.composite = self.composite + filtered
+        self._rebuild_support()
 
     def merge_composite_into_regular(self) -> None:
         """Return unfinished composite residual to the EPS (final drain)."""
         self.regular += self.composite
         self.composite[:] = 0.0
+        self._rebuild_support()
 
     # ------------------------------------------------------------------ #
     # phase execution
@@ -149,144 +214,181 @@ class FluidEngine:
         remaining = np.inf if open_ended else float(duration)
         if not open_ended and remaining < 0:
             raise ValueError(f"duration must be non-negative, got {duration}")
-        circuit_rows: np.ndarray
-        circuit_cols: np.ndarray
+
+        # ---- phase-constant bookkeeping --------------------------------
         if circuits is not None:
-            circuit_rows, circuit_cols = np.nonzero(circuits)
+            circuit_pos = self._positions_of(*np.nonzero(circuits))
         else:
-            circuit_rows = circuit_cols = np.empty(0, dtype=np.int64)
+            circuit_pos = _EMPTY_POS
+        services = []
+        for service in composites:
+            port = service.port
+            if service.kind == "o2m":
+                lo, hi = self._row_start[port], self._row_start[port + 1]
+                positions = np.arange(lo, hi, dtype=np.int64)
+                partners = self._cols[lo:hi]
+            else:
+                lo, hi = self._col_start[port], self._col_start[port + 1]
+                positions = self._col_order[lo:hi]
+                partners = self._rows[positions]
+            if service.lane_mask is not None:
+                keep = np.asarray(service.lane_mask, dtype=bool)[partners]
+                positions = positions[keep]
+                partners = partners[keep]
+            services.append((service.kind == "o2m", positions, partners))
+
+        # ---- gather residuals over the support -------------------------
+        reg = self.regular[self._rows, self._cols]
+        comp = self.composite[self._rows, self._cols]
+        params = self.params
+        ocs_rate = params.ocs_rate
+        eps_budget = params.effective_eps_budget
+        reg_rate = self._reg_rate
+        comp_rate = self._comp_rate
+        in_cap = self._in_cap
+        out_cap = self._out_cap
 
         while remaining > TIME_TOL:
-            reg_rate, comp_rate, breakdown = self._current_rates(
-                circuit_rows, circuit_cols, composites, eps_enabled
-            )
-            dt_event = self._next_drain(reg_rate, comp_rate)
+            # -- rates for the current residuals --
+            reg_rate.fill(0.0)
+            comp_rate.fill(0.0)
+            in_cap.fill(params.eps_rate)
+            out_cap.fill(params.eps_rate)
+
+            # Regular OCS circuits.
+            circuit_total = 0.0
+            if circuit_pos.size:
+                live = circuit_pos[reg[circuit_pos] > VOLUME_TOL]
+                reg_rate[live] = ocs_rate
+                circuit_total = ocs_rate * live.size
+
+            # Composite paths: CPSched rates + EPS reservation.
+            composite_total = 0.0
+            for is_o2m, positions, partners in services:
+                if positions.size == 0:
+                    continue
+                active = comp[positions] > VOLUME_TOL
+                count = int(np.count_nonzero(active))
+                if count == 0:
+                    continue
+                rate = min(eps_budget, ocs_rate / count)
+                comp_rate[positions[active]] += rate
+                if is_o2m:
+                    out_cap[partners[active]] -= rate  # destination EPS links
+                else:
+                    in_cap[partners[active]] -= rate  # source EPS links
+                composite_total += rate * count
+            np.clip(in_cap, 0.0, None, out=in_cap)
+            np.clip(out_cap, 0.0, None, out=out_cap)
+
+            # EPS: everything regular that no circuit is serving right now.
+            eps_total = 0.0
+            if eps_enabled:
+                flows = np.nonzero((reg > VOLUME_TOL) & (reg_rate <= 0))[0]
+                if flows.size:
+                    eps_rates = max_min_fair_rates(
+                        self._rows[flows], self._cols[flows], in_cap, out_cap
+                    )
+                    reg_rate[flows] += eps_rates
+                    eps_total = float(eps_rates.sum())
+
+            # -- time until the earliest served entry drains --
+            dt_event = np.inf
+            served = reg_rate > 0
+            if served.any():
+                dt_event = min(dt_event, float((reg[served] / reg_rate[served]).min()))
+            served = comp_rate > 0
+            if served.any():
+                dt_event = min(dt_event, float((comp[served] / comp_rate[served]).min()))
             if not np.isfinite(dt_event) and open_ended:
                 break  # nothing left to serve
+
             dt = min(dt_event, remaining)
             if dt <= TIME_TOL:
-                # Nothing is being served and the phase is finite: idle out.
-                self.clock += remaining
-                break
-            self._apply(reg_rate, comp_rate, breakdown, dt)
+                # A served entry's residual is dust: its drain time fell
+                # below the time tolerance.  Snap it to zero and keep the
+                # event loop going so every other entry continues to be
+                # served.  (The seed engine idled out the whole remaining
+                # phase here, silently skipping service for everyone.)
+                self._snap_dust(reg, comp, reg_rate, comp_rate)
+                continue
+
+            # -- advance time by dt at the computed rates --
+            np.add(reg, comp, out=self._before)
+            np.multiply(reg_rate, dt, out=self._scratch)
+            np.subtract(reg, self._scratch, out=reg)
+            np.multiply(comp_rate, dt, out=self._scratch)
+            np.subtract(comp, self._scratch, out=comp)
+            np.clip(reg, 0.0, None, out=reg)
+            np.clip(comp, 0.0, None, out=comp)
+            # Snap float dust to exact zero so drained entries stay drained.
+            reg[reg <= VOLUME_TOL] = 0.0
+            comp[comp <= VOLUME_TOL] = 0.0
+            np.add(reg, comp, out=self._after)
+
+            newly_done = (
+                self._flat_demanded
+                & (self._before > VOLUME_TOL)
+                & (self._after <= VOLUME_TOL)
+            )
+            if newly_done.any():
+                done = np.nonzero(newly_done)[0]
+                self.finish_times[self._rows[done], self._cols[done]] = self.clock + dt
+
+            # dt never exceeds residual/rate for any served entry, so
+            # rate*dt is the exact served volume per mechanism (up to the
+            # snap tolerance).
+            self.served_ocs_direct += circuit_total * dt
+            self.served_composite += composite_total * dt
+            self.served_eps += eps_total * dt
+            self.segments.append(
+                RateSegment(
+                    start=self.clock,
+                    end=self.clock + dt,
+                    ocs_direct_rate=circuit_total,
+                    composite_rate=composite_total,
+                    eps_rate=eps_total,
+                )
+            )
+            self.clock += dt
             remaining -= dt
 
-    # ------------------------------------------------------------------ #
-    # internals
-    # ------------------------------------------------------------------ #
+        # ---- scatter residuals back ------------------------------------
+        self.regular[self._rows, self._cols] = reg
+        self.composite[self._rows, self._cols] = comp
 
-    def _current_rates(
+    def _snap_dust(
         self,
-        circuit_rows: np.ndarray,
-        circuit_cols: np.ndarray,
-        composites,
-        eps_enabled: bool,
-    ) -> "tuple[np.ndarray, np.ndarray, tuple[float, float, float]]":
-        """Rates for the current residuals.
-
-        Returns ``(regular_rates, composite_rates, (circuit_total,
-        composite_total, eps_total))``.
-        """
-        params = self.params
-        n = self.n
-        reg_rate = np.zeros_like(self.regular)
-        comp_rate = np.zeros_like(self.regular)
-        in_cap = np.full(n, params.eps_rate)
-        out_cap = np.full(n, params.eps_rate)
-
-        # Regular OCS circuits.
-        circuit_total = 0.0
-        if circuit_rows.size:
-            live = self.regular[circuit_rows, circuit_cols] > VOLUME_TOL
-            rows, cols = circuit_rows[live], circuit_cols[live]
-            reg_rate[rows, cols] = params.ocs_rate
-            circuit_total = params.ocs_rate * rows.size
-
-        # Composite paths: CPSched rates + EPS reservation.
-        budget = params.effective_eps_budget
-        composite_total = 0.0
-        for service in composites:
-            if service.kind == "o2m":
-                vector = self.composite[service.port, :]
-            else:
-                vector = self.composite[:, service.port]
-            active = vector > VOLUME_TOL
-            if service.lane_mask is not None:
-                active = active & service.lane_mask
-            count = int(active.sum())
-            if count == 0:
-                continue
-            rate = min(budget, params.ocs_rate / count)
-            if service.kind == "o2m":
-                comp_rate[service.port, active] += rate
-                out_cap[active] -= rate  # reservation on destination EPS links
-            else:
-                comp_rate[active, service.port] += rate
-                in_cap[active] -= rate  # reservation on source EPS links
-            composite_total += rate * count
-        np.clip(in_cap, 0.0, None, out=in_cap)
-        np.clip(out_cap, 0.0, None, out=out_cap)
-
-        # EPS: everything regular that no circuit is serving right now.
-        eps_total = 0.0
-        if eps_enabled:
-            eps_active = (self.regular > VOLUME_TOL) & (reg_rate <= 0)
-            if eps_active.any():
-                eps_rates = max_min_fair_rate_matrix(eps_active, in_cap, out_cap)
-                reg_rate += eps_rates
-                eps_total = float(eps_rates.sum())
-        return reg_rate, comp_rate, (circuit_total, composite_total, eps_total)
-
-    def _next_drain(self, reg_rate: np.ndarray, comp_rate: np.ndarray) -> float:
-        """Time until the earliest served entry drains (inf if none)."""
-        dt = np.inf
-        served = reg_rate > 0
-        if served.any():
-            dt = min(dt, float((self.regular[served] / reg_rate[served]).min()))
-        served = comp_rate > 0
-        if served.any():
-            dt = min(dt, float((self.composite[served] / comp_rate[served]).min()))
-        return dt
-
-    def _apply(
-        self,
+        reg: np.ndarray,
+        comp: np.ndarray,
         reg_rate: np.ndarray,
         comp_rate: np.ndarray,
-        breakdown: "tuple[float, float, float]",
-        dt: float,
     ) -> None:
-        """Advance time by ``dt`` at the given rates; book volumes/finishes."""
-        circuit_total, composite_total, eps_total = breakdown
-        before = self.regular + self.composite
+        """Zero every served entry whose drain time is below ``TIME_TOL``.
 
-        self.regular -= reg_rate * dt
-        self.composite -= comp_rate * dt
-        np.clip(self.regular, 0.0, None, out=self.regular)
-        np.clip(self.composite, 0.0, None, out=self.composite)
-        # Snap float dust to exact zero so drained entries stay drained.
-        self.regular[self.regular <= VOLUME_TOL] = 0.0
-        self.composite[self.composite <= VOLUME_TOL] = 0.0
-
-        after = self.regular + self.composite
-        newly_done = self.demanded & (before > VOLUME_TOL) & (after <= VOLUME_TOL)
-        self.finish_times[newly_done] = self.clock + dt
-
-        # dt never exceeds residual/rate for any served entry, so rate*dt is
-        # the exact served volume per mechanism (up to the snap tolerance).
-        self.served_ocs_direct += circuit_total * dt
-        self.served_composite += composite_total * dt
-        self.served_eps += eps_total * dt
-
-        self.segments.append(
-            RateSegment(
-                start=self.clock,
-                end=self.clock + dt,
-                ocs_direct_rate=circuit_total,
-                composite_rate=composite_total,
-                eps_rate=eps_total,
-            )
+        At least one served entry (the one attaining the sub-tolerance
+        ``dt_event``) is zeroed per call, so the event loop strictly
+        progresses.  The skipped volume is below ``rate * TIME_TOL`` per
+        entry — far inside the conservation tolerance — and is deliberately
+        not credited to any mechanism.
+        """
+        np.add(reg, comp, out=self._before)
+        for residual, rate in ((reg, reg_rate), (comp, comp_rate)):
+            served = rate > 0
+            if not served.any():
+                continue
+            np.divide(residual, rate, out=self._scratch, where=served)
+            self._scratch[~served] = np.inf
+            residual[self._scratch <= TIME_TOL] = 0.0
+        np.add(reg, comp, out=self._after)
+        newly_done = (
+            self._flat_demanded
+            & (self._before > VOLUME_TOL)
+            & (self._after <= VOLUME_TOL)
         )
-        self.clock += dt
+        if newly_done.any():
+            done = np.nonzero(newly_done)[0]
+            self.finish_times[self._rows[done], self._cols[done]] = self.clock
 
     # ------------------------------------------------------------------ #
     # result

@@ -53,7 +53,10 @@ def check_demand_matrix(demand: np.ndarray, *, square: bool = True) -> np.ndarra
         raise ValueError("demand matrix contains non-finite entries")
     if np.any(arr < 0):
         raise ValueError("demand matrix contains negative entries")
-    return np.ascontiguousarray(arr, dtype=np.float64).copy()
+    # np.array copies exactly once; the previous ascontiguousarray().copy()
+    # chain copied twice whenever the input was not already a C-contiguous
+    # float64 array.
+    return np.array(arr, dtype=np.float64, order="C")
 
 
 def check_permutation(perm: np.ndarray, *, partial: bool = True) -> np.ndarray:

@@ -129,3 +129,18 @@ class TestMultiPathScheduler:
                     int(reduction.m2o_path[i, j])
                 ) == j
                 assert on_o2m or on_m2o
+
+
+class TestMultiPathImmutability:
+    def test_reduction_arrays_read_only(self, sparse_demand):
+        multi = multi_path_reduction(sparse_demand, 3, 3, 2.0)
+        for name in ("reduced", "filtered", "o2m_path", "m2o_path"):
+            with pytest.raises(ValueError):
+                getattr(multi, name)[0, 0] = 1
+
+    def test_schedule_residual_read_only(self, skewed_demand16):
+        params = fast_ocs_params(16)
+        scheduler = MultiPathCpScheduler(SolsticeScheduler(), n_paths=2)
+        schedule = scheduler.schedule(skewed_demand16, params)
+        with pytest.raises(ValueError):
+            schedule.filtered_residual[0, 0] = 1.0

@@ -177,3 +177,21 @@ class TestFilterConfig:
             demand, params, FilterConfig(volume_threshold=10.0, fanout_threshold=4)
         )
         assert reduction.reduced[6, 1] == pytest.approx(17.0)
+
+
+class TestFrozenReduction:
+    """ReducedDemand arrays are provenance shared by every derived
+    schedule; mutating them must fail loudly, not corrupt silently."""
+
+    def test_arrays_read_only(self):
+        reduction = cp_switch_demand_reduction(figure2_demand(), 4, 10.0)
+        for name in ("reduced", "filtered", "o2m_assignment", "m2o_assignment"):
+            with pytest.raises(ValueError):
+                getattr(reduction, name)[0, 0] = 1
+
+    def test_load_views_inherit_read_only(self):
+        reduction = cp_switch_demand_reduction(figure2_demand(), 4, 10.0)
+        with pytest.raises(ValueError):
+            reduction.o2m_loads[0] = 1.0
+        with pytest.raises(ValueError):
+            reduction.m2o_loads[0] = 1.0

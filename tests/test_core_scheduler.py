@@ -112,3 +112,18 @@ class TestCpSwitchScheduler:
         )
         cp_schedule = strict.schedule(skewed_demand, params)
         assert cp_schedule.reduction.composite_volume == 0.0
+
+
+class TestScheduleImmutability:
+    def test_filtered_residual_read_only(self, params, scheduler, skewed_demand):
+        cp_schedule = scheduler.schedule(skewed_demand, params)
+        with pytest.raises(ValueError):
+            cp_schedule.filtered_residual[0, 0] = 1.0
+
+    def test_entry_arrays_read_only(self, params, scheduler, skewed_demand):
+        cp_schedule = scheduler.schedule(skewed_demand, params)
+        entry = cp_schedule.entries[0]
+        with pytest.raises(ValueError):
+            entry.regular[0, 0] = 1
+        with pytest.raises(ValueError):
+            entry.composite_served[0, 0] = 1.0

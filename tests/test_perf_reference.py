@@ -1,0 +1,147 @@
+"""Tests for the frozen reference kernels and the perf-tracking harness.
+
+The reference module exists so the optimized hot path can be checked
+against ground truth; these tests pin both directions of that contract:
+the reference preserves the seed behaviour (including the phase-skip dust
+bug), and the optimized pipeline is bit-identical to it on seeded
+workloads.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.perf import (
+    STAGES,
+    assert_results_equivalent,
+    bench_point,
+    reference_cp_schedule,
+    reference_hybrid_schedule,
+    reference_simulate_cp,
+    reference_simulate_hybrid,
+    run_suite,
+    write_report,
+)
+from repro.core.scheduler import CpSwitchScheduler
+from repro.hybrid.solstice import SolsticeScheduler
+from repro.sim import simulate_cp, simulate_hybrid
+from repro.sim.engine import FluidEngine
+from repro.sim.reference import ReferenceFluidEngine
+from repro.switch.params import SwitchParams, fast_ocs_params
+from repro.utils.rng import spawn_rngs
+from repro.workloads.skewed import SkewedWorkload
+
+
+def _seeded_demand(n_ports: int, seed: int = 2016) -> np.ndarray:
+    params = fast_ocs_params(n_ports)
+    workload = SkewedWorkload.for_params(params)
+    (rng,) = spawn_rngs(seed, 1)
+    return workload.generate(n_ports, rng).demand
+
+
+class TestReferencePreservesSeedBehaviour:
+    """The reference engine must keep the seed's dust bug, not the fix."""
+
+    def test_reference_engine_idles_out_phase_on_dust(self):
+        params = SwitchParams(n_ports=2, ocs_rate=1e4)
+        demand = np.array([[0.0, 5e-9], [20.0, 0.0]])
+        circuits = np.array([[0, 1], [0, 0]], dtype=np.int8)
+        engine = ReferenceFluidEngine(demand, params)
+        engine.run_phase(2.5, circuits=circuits)
+        # Seed behaviour: the 5e-9 Mb circuit entry drains in ~5e-13 ms,
+        # below TIME_TOL, so the whole phase idles out and the 20 Mb EPS
+        # entry makes no progress at all.
+        assert np.isnan(engine.finish_times[1, 0])
+        assert engine.residual_total() == pytest.approx(20.0, abs=1e-6)
+        assert engine.clock == pytest.approx(2.5)
+
+    def test_optimized_engine_snaps_dust_and_keeps_serving(self):
+        params = SwitchParams(n_ports=2, ocs_rate=1e4)
+        demand = np.array([[0.0, 5e-9], [20.0, 0.0]])
+        circuits = np.array([[0, 1], [0, 0]], dtype=np.int8)
+        engine = FluidEngine(demand, params)
+        engine.run_phase(2.5, circuits=circuits)
+        # Fixed behaviour: the dust entry snaps to zero at the clock and
+        # the other entry still drains at the EPS rate (20 Mb / 10 Mb/ms).
+        assert engine.finish_times[0, 1] == 0.0
+        assert engine.finish_times[1, 0] == pytest.approx(2.0)
+        assert engine.residual_total() == 0.0
+
+
+class TestBitIdenticalEquivalence:
+    """Optimized pipeline == reference pipeline on a seeded fig5 point."""
+
+    @pytest.fixture(scope="class")
+    def demand(self):
+        return _seeded_demand(16)
+
+    @pytest.fixture(scope="class")
+    def params(self):
+        return fast_ocs_params(16)
+
+    def test_hybrid_pipeline_bit_identical(self, demand, params):
+        ref_schedule = reference_hybrid_schedule(demand, params, "solstice")
+        opt_schedule = SolsticeScheduler().schedule(demand, params)
+        ref = reference_simulate_hybrid(demand, ref_schedule, params)
+        opt = simulate_hybrid(demand, opt_schedule, params)
+        assert_results_equivalent(ref, opt, "hybrid radix-16")
+        assert np.array_equal(ref.finish_times, opt.finish_times, equal_nan=True)
+
+    def test_cp_pipeline_bit_identical(self, demand, params):
+        ref_schedule = reference_cp_schedule(demand, params, "solstice")
+        opt_schedule = CpSwitchScheduler(SolsticeScheduler()).schedule(demand, params)
+        ref = reference_simulate_cp(demand, ref_schedule, params)
+        opt = simulate_cp(demand, opt_schedule, params)
+        assert_results_equivalent(ref, opt, "cp radix-16")
+
+    def test_cross_engine_on_same_schedule(self, demand, params):
+        # Isolate the engines: identical schedule, both engines, identical
+        # finish times — this is the check that covers the Eclipse (fig6)
+        # pairing too, where the scheduler code is shared.
+        schedule = SolsticeScheduler().schedule(demand, params)
+        ref = reference_simulate_hybrid(demand, schedule, params)
+        opt = simulate_hybrid(demand, schedule, params)
+        assert np.array_equal(ref.finish_times, opt.finish_times, equal_nan=True)
+        assert ref.completion_time == opt.completion_time
+
+    def test_equivalence_helper_rejects_differences(self, demand, params):
+        schedule = SolsticeScheduler().schedule(demand, params)
+        result = simulate_hybrid(demand, schedule, params)
+        other = simulate_hybrid(demand * 1.5, SolsticeScheduler().schedule(demand * 1.5, params), params)
+        with pytest.raises(AssertionError):
+            assert_results_equivalent(result, other)
+
+
+class TestPerfHarness:
+    """Schema and guard behaviour of the bench harness itself."""
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_suite(
+            radices=(8,), schedulers=("solstice",), n_trials=1, repeats=1
+        )
+
+    def test_payload_schema(self, payload):
+        assert payload["benchmark"] == "engine-hot-path"
+        assert payload["headline_radix"] == 8
+        assert "solstice" in payload["headline_speedup"]
+        (point,) = payload["points"]
+        assert point["radix"] == 8
+        assert point["figure"] == "fig5"
+        assert point["bit_identical"] is True
+        for side in ("before_s", "after_s"):
+            for stage in STAGES + ("total",):
+                assert point[side][stage] >= 0.0
+        assert point["speedup"] > 0.0
+
+    def test_report_round_trips_as_json(self, payload, tmp_path):
+        path = write_report(payload, tmp_path / "BENCH_engine.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["points"][0]["radix"] == 8
+
+    def test_bench_point_rejects_bad_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            bench_point(n_ports=8, repeats=0)

@@ -116,6 +116,20 @@ class TestEngineFuzz:
         assert (finished <= engine.clock + 1e-9).all()
         assert np.isnan(engine.finish_times[~demanded]).all()
 
+    @given(demand=demands(), phase_list=phases())
+    @settings(max_examples=60, deadline=None)
+    def test_event_count_linear_in_nnz_and_phases(self, demand, phase_list):
+        engine = _run(demand, phase_list)
+        nnz = int((demand > 1e-9).sum())
+        n_phases = len(phase_list) + 1  # + the final open-ended drain
+        # Every recorded event either drains at least one residual
+        # component to zero — each entry has a regular and a composite
+        # component, and the merge can refill the regular one, so at most
+        # three drains per entry — or it is the single phase-truncation
+        # event of its phase.  Dust snaps record no segment.  The engine
+        # must therefore stay O(nnz + phases), never O(n^2) per phase.
+        assert len(engine.segments) <= 3 * nnz + n_phases
+
     @given(
         demand=demands(),
         phase_list=phases(),

@@ -27,6 +27,8 @@ Layers
 * :mod:`repro.hybrid` — Solstice and Eclipse h-Switch schedulers (built
   from scratch per their papers);
 * :mod:`repro.sim` — fluid online execution of either switch;
+* :mod:`repro.faults` — seedable fault injection with graceful cp-Switch →
+  h-Switch degradation;
 * :mod:`repro.workloads` — the paper's §3.2–§3.5 demand models;
 * :mod:`repro.analysis` — seeded comparison experiments and reporting;
 * :mod:`repro.matching`, :mod:`repro.switch`, :mod:`repro.utils` —
@@ -44,6 +46,7 @@ from repro.core import (
     divide_by_type,
 )
 from repro.core.multipath import MultiPathCpScheduler, multi_path_reduction
+from repro.faults import FaultInjector, FaultPlan, FaultSummary
 from repro.hybrid import (
     EclipseScheduler,
     Schedule,
@@ -76,6 +79,9 @@ __all__ = [
     "EclipseScheduler",
     "EpochController",
     "ExperimentConfig",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSummary",
     "FilterConfig",
     "MultiPathCpScheduler",
     "OcsClass",

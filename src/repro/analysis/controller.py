@@ -16,6 +16,16 @@ and it surfaces behaviour single-shot experiments cannot: backlog
 evolution under sustained load, and whether the switch *keeps up* — a
 bounded epoch whose arrivals exceed its service capacity grows backlog
 epoch over epoch.
+
+With a :class:`~repro.faults.plan.FaultPlan` the loop also closes over
+hardware faults: each epoch executes under a fresh realization of the plan
+(stream = epoch index, so whole trajectories replay from one seed), and at
+the epoch boundary the controller *detects* composite-path ports that died
+during execution and excludes them from the next scheduling round — the
+demand reduction's composite column/row is masked, so demand that would
+have parked on dead hardware stays on the regular paths.  Stranded backlog
+(volume a faulted or truncated epoch could not deliver) remains queued in
+the VOQs and is retried in the next round automatically.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.scheduler import CpSwitchScheduler
+from repro.faults.plan import FaultPlan
 from repro.hybrid.base import HybridScheduler
 from repro.sim import simulate_cp, simulate_hybrid
 from repro.sim.metrics import SimulationResult
@@ -39,7 +50,15 @@ ArrivalProcess = Callable[[int], np.ndarray]
 
 @dataclass(frozen=True)
 class EpochReport:
-    """Outcome of one control epoch."""
+    """Outcome of one control epoch.
+
+    ``stranded_volume`` is the demand this epoch scheduled but could not
+    deliver (it stays queued and is retried next epoch);
+    ``released_composite`` is the volume that fell back from dead composite
+    paths to the regular paths during the epoch; ``dead_o2m``/``dead_m2o``
+    are the composite ports known dead *after* the epoch — the next
+    scheduling round excludes them.
+    """
 
     epoch: int
     offered_volume: float
@@ -49,6 +68,10 @@ class EpochReport:
     n_configs: int
     makespan: float
     backlog_after: float
+    stranded_volume: float = 0.0
+    released_composite: float = 0.0
+    dead_o2m: "tuple[int, ...]" = ()
+    dead_m2o: "tuple[int, ...]" = ()
 
     @property
     def kept_up(self) -> bool:
@@ -74,12 +97,17 @@ class EpochController:
         its schedule to completion (no backlog can survive an epoch);
         a finite budget truncates execution and carries leftovers over —
         the sustained-load regime.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` injected into every
+        epoch's execution (stream = epoch index).  Composite ports observed
+        dead are excluded from all subsequent scheduling rounds.
     """
 
     params: SwitchParams
     scheduler: HybridScheduler
     use_composite_paths: bool = False
     epoch_duration: "float | None" = None
+    fault_plan: "FaultPlan | None" = None
     _voqs: VirtualOutputQueues = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -89,10 +117,17 @@ class EpochController:
         self._cp_scheduler = (
             CpSwitchScheduler(self.scheduler) if self.use_composite_paths else None
         )
+        self._dead_o2m: "set[int]" = set()
+        self._dead_m2o: "set[int]" = set()
 
     @property
     def voqs(self) -> VirtualOutputQueues:
         return self._voqs
+
+    @property
+    def dead_composite_ports(self) -> "tuple[tuple[int, ...], tuple[int, ...]]":
+        """Composite ports detected dead so far, as (o2m, m2o) tuples."""
+        return tuple(sorted(self._dead_o2m)), tuple(sorted(self._dead_m2o))
 
     # ------------------------------------------------------------------ #
 
@@ -110,14 +145,25 @@ class EpochController:
         return float(arrivals.sum())
 
     def run_epoch(self, epoch: int = 0) -> "tuple[EpochReport, SimulationResult]":
-        """Snapshot the VOQs, schedule, execute (bounded by the epoch)."""
+        """Snapshot the VOQs, schedule, execute (bounded by the epoch).
+
+        Under a fault plan, execution runs against a fresh fault
+        realization; afterwards the controller harvests newly dead
+        composite ports (they are masked out of the next round's demand
+        reduction) while stranded backlog stays queued for retry.
+        """
         demand = self._voqs.occupancy.copy()
         offered = float(demand.sum())
-        result = self._execute(demand)
+        result = self._execute(demand, epoch)
         residual = result.residual if result.residual is not None else np.zeros_like(demand)
         served = np.maximum(demand - residual, 0.0)
         self._voqs.serve_matrix(served)
         self._voqs.check_conservation()
+        if result.fault_summary is not None:
+            # Fault detection at the epoch boundary: any composite port
+            # that failed during execution is excluded from future rounds.
+            self._dead_o2m.update(result.fault_summary.dead_o2m_ports)
+            self._dead_m2o.update(result.fault_summary.dead_m2o_ports)
         report = EpochReport(
             epoch=epoch,
             offered_volume=offered,
@@ -127,6 +173,10 @@ class EpochController:
             n_configs=result.n_configs,
             makespan=result.makespan,
             backlog_after=self._voqs.backlog,
+            stranded_volume=float(residual.sum()),
+            released_composite=result.released_composite,
+            dead_o2m=tuple(sorted(self._dead_o2m)),
+            dead_m2o=tuple(sorted(self._dead_m2o)),
         )
         return report, result
 
@@ -143,9 +193,29 @@ class EpochController:
 
     # ------------------------------------------------------------------ #
 
-    def _execute(self, demand: np.ndarray) -> SimulationResult:
+    def _execute(self, demand: np.ndarray, epoch: int = 0) -> SimulationResult:
+        injector = None
+        if self.fault_plan is not None:
+            injector = self.fault_plan.injector(self.params.n_ports, stream=epoch)
+            # Ports that died in earlier epochs stay dead — pre-seed the
+            # fresh realization so no second outage draw is made for them.
+            injector.mark_dead("o2m", self._dead_o2m)
+            injector.mark_dead("m2o", self._dead_m2o)
         if self._cp_scheduler is not None:
-            cp_schedule = self._cp_scheduler.schedule(demand, self.params)
-            return simulate_cp(demand, cp_schedule, self.params, horizon=self.epoch_duration)
+            cp_schedule = self._cp_scheduler.schedule(
+                demand,
+                self.params,
+                blocked_o2m=self._dead_o2m or None,
+                blocked_m2o=self._dead_m2o or None,
+            )
+            return simulate_cp(
+                demand,
+                cp_schedule,
+                self.params,
+                horizon=self.epoch_duration,
+                faults=injector,
+            )
         schedule = self.scheduler.schedule(demand, self.params)
-        return simulate_hybrid(demand, schedule, self.params, horizon=self.epoch_duration)
+        return simulate_hybrid(
+            demand, schedule, self.params, horizon=self.epoch_duration, faults=injector
+        )

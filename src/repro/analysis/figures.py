@@ -18,9 +18,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.experiment import ComparisonAggregate, ExperimentConfig, run_comparison
+import numpy as np
+
+from repro.analysis.experiment import (
+    ComparisonAggregate,
+    ExperimentConfig,
+    default_trials,
+    run_comparison,
+)
+from repro.analysis.robustness import fault_trial
 from repro.analysis.runtime import RuntimeRow, runtime_row
+from repro.faults.plan import FaultPlan
+from repro.hybrid.solstice import SolsticeScheduler
 from repro.switch.params import SwitchParams, fast_ocs_params, slow_ocs_params
+from repro.utils.rng import spawn_rngs
 from repro.workloads.combined import CombinedWorkload
 from repro.workloads.skewed import SkewedWorkload
 from repro.workloads.varying import VaryingSkewWorkload
@@ -180,6 +191,83 @@ def figure11(
                 )
             )
             points.append(FigurePoint(n_ports=n_ports, result=result, skewed_ports=k))
+    return points
+
+
+#: Default fault-rate sweep of the degradation curve.
+DEFAULT_FAULT_RATES: "tuple[float, ...]" = (0.0, 0.05, 0.1, 0.2, 0.4)
+
+
+@dataclass(frozen=True)
+class DegradationPoint:
+    """One fault rate of the degradation curve (trial means).
+
+    ``h_completion``/``cp_completion`` are completion times (ms) under a
+    uniform :meth:`~repro.faults.plan.FaultPlan.uniform` plan at
+    ``fault_rate``; ``released_composite`` is the mean volume (Mb) the
+    cp-Switch failed over from dead composite paths to regular paths.
+    """
+
+    fault_rate: float
+    h_completion: float
+    cp_completion: float
+    released_composite: float
+    n_ports: int
+
+    @property
+    def cp_advantage(self) -> float:
+        """How much faster the cp-Switch finishes (h / cp; > 1 = cp wins)."""
+        return self.h_completion / self.cp_completion if self.cp_completion else float("inf")
+
+
+def degradation_curve(
+    ocs: str,
+    radix: int = 32,
+    fault_rates: "tuple[float, ...]" = DEFAULT_FAULT_RATES,
+    n_trials: "int | None" = None,
+    seed: int = DEFAULT_SEED,
+) -> "list[DegradationPoint]":
+    """h-Switch vs cp-Switch completion time versus hardware fault rate.
+
+    The robustness counterpart of Figure 5: the paper's skewed workload and
+    Solstice pairing, executed under a uniform fault plan whose severity
+    sweeps ``fault_rates`` (reconfiguration failures/stragglers, circuit
+    setup failures, composite-port outages and EPS degradation all at the
+    same rate — see :meth:`repro.faults.plan.FaultPlan.uniform`).  At rate
+    0 the curve reproduces the fault-free gap bit-identically; as the rate
+    grows, dead composite ports push the cp-Switch back toward h-Switch
+    behaviour (``released_composite`` rises) while both switches' absolute
+    completion times climb.  Demand matrices are shared across the sweep,
+    so movement along the x-axis is fault-driven, not workload-driven.
+    """
+    params = params_for(ocs, radix)
+    workload = SkewedWorkload.for_params(params)
+    scheduler = SolsticeScheduler()
+    resolved_trials = n_trials if n_trials is not None else default_trials()
+    demands = [
+        workload.generate(radix, rng).demand
+        for rng in spawn_rngs(seed, resolved_trials)
+    ]
+    points = []
+    for rate_index, rate in enumerate(fault_rates):
+        h_times, cp_times, released = [], [], []
+        for trial, demand in enumerate(demands):
+            # One fault realization per (rate, trial), reproducible from
+            # the root seed.
+            plan = FaultPlan.uniform(rate, seed=seed + 7919 * rate_index + trial)
+            h_result, cp_result = fault_trial(demand, scheduler, params, plan)
+            h_times.append(h_result.completion_time)
+            cp_times.append(cp_result.completion_time)
+            released.append(cp_result.released_composite)
+        points.append(
+            DegradationPoint(
+                fault_rate=float(rate),
+                h_completion=float(np.mean(h_times)),
+                cp_completion=float(np.mean(cp_times)),
+                released_composite=float(np.mean(released)),
+                n_ports=radix,
+            )
+        )
     return points
 
 

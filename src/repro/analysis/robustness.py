@@ -20,6 +20,13 @@ estimate runs against the true demand.  For the cp-Switch, the composite
 paths serve whatever is *actually* queued on the filtered entries (at most
 the true volume), and true demand the scheduler never saw stays on the
 regular paths — matching what the hardware would do.
+
+Hardware robustness (:func:`fault_trial`): the complementary question —
+perfect knowledge, imperfect *fabric*.  A :class:`~repro.faults.plan.FaultPlan`
+is injected into the execution of both switches' schedules, and the h vs cp
+completion-time gap under growing fault rates is the degradation curve of
+``python -m repro robustness`` and
+:func:`repro.analysis.figures.degradation_curve`.
 """
 
 from __future__ import annotations
@@ -27,9 +34,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.scheduler import CpSchedule, CpSwitchScheduler
+from repro.faults.plan import FaultPlan
 from repro.hybrid.base import HybridScheduler
 from repro.hybrid.schedule import Schedule
 from repro.sim.cp_sim import _run as _run_cp
+from repro.sim.cp_sim import simulate_cp
 from repro.sim.hybrid_sim import simulate_hybrid
 from repro.sim.metrics import SimulationResult
 from repro.switch.params import SwitchParams
@@ -56,13 +65,22 @@ def perturb_demand(
     staleness:
         Fraction of each entry's volume the snapshot has not seen yet
         (0 = fresh, 0.3 = 30 % of the traffic arrived after the snapshot).
+        Accepts the closed interval [0, 1]: ``staleness=1.0`` models a
+        snapshot taken before any traffic arrived — the estimate is all
+        zeros, exactly like ``miss_rate=1.0``.
     miss_rate:
-        Probability that a non-zero entry is absent from the estimate.
+        Probability that a non-zero entry is absent from the estimate,
+        in [0, 1].  ``miss_rate=1.0`` misses everything (zero estimate).
+
+    Both fractional parameters share the same closed-interval validation:
+    the boundary value 1.0 is legal for each and yields the fully blind
+    estimator, which downstream schedulers handle by emitting an empty
+    schedule (everything rides the EPS).
     """
     demand = check_demand_matrix(demand)
     check_nonnegative("noise", noise)
-    if not (0.0 <= staleness < 1.0):
-        raise ValueError(f"staleness must be in [0, 1), got {staleness}")
+    if not (0.0 <= staleness <= 1.0):
+        raise ValueError(f"staleness must be in [0, 1], got {staleness}")
     if not (0.0 <= miss_rate <= 1.0):
         raise ValueError(f"miss_rate must be in [0, 1], got {miss_rate}")
     rng = ensure_rng(rng)
@@ -134,11 +152,40 @@ def robustness_trial(
     )
     if estimate.max(initial=0.0) <= VOLUME_TOL:
         # A fully blind estimator schedules nothing; everything rides EPS.
+        # Both switches degrade to the same empty schedule, but each gets
+        # its own independent execution: callers mutate/inspect the two
+        # results separately, so returning one aliased object would let a
+        # change through one handle corrupt the other.
         h_schedule = Schedule(entries=(), reconfig_delay=params.reconfig_delay)
         h_result = simulate_hybrid(true_demand, h_schedule, params)
-        return h_result, h_result
+        cp_result = simulate_hybrid(true_demand, h_schedule, params)
+        return h_result, cp_result
     h_schedule = scheduler.schedule(estimate, params)
     h_result = simulate_with_estimate(true_demand, h_schedule, params)
     cp_schedule = CpSwitchScheduler(scheduler).schedule(estimate, params)
     cp_result = simulate_with_estimate(true_demand, cp_schedule, params)
+    return h_result, cp_result
+
+
+def fault_trial(
+    true_demand: np.ndarray,
+    scheduler: HybridScheduler,
+    params: SwitchParams,
+    plan: FaultPlan,
+) -> "tuple[SimulationResult, SimulationResult]":
+    """One (h result, cp result) pair under the same hardware fault plan.
+
+    Both switches schedule from perfect knowledge, then execute under an
+    independent realization of ``plan`` (each simulator builds its own
+    injector from the plan's seed — the h-Switch draws only
+    reconfiguration/circuit/EPS faults, the cp-Switch additionally risks
+    composite-port outages).  Conservation holds for both results under
+    any fault mix.
+    """
+    h_schedule = scheduler.schedule(true_demand, params)
+    h_result = simulate_hybrid(true_demand, h_schedule, params, faults=plan)
+    cp_schedule = CpSwitchScheduler(scheduler).schedule(true_demand, params)
+    cp_result = simulate_cp(true_demand, cp_schedule, params, faults=plan)
+    h_result.check_conservation()
+    cp_result.check_conservation()
     return h_result, cp_result

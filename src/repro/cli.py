@@ -8,7 +8,11 @@ Gives the library a no-code surface for the common workflows:
 * ``schedule`` — schedule a demand matrix from a ``.npy``/``.csv`` file
   and print the resulting configurations;
 * ``workload`` — sample a demand matrix from one of the paper's models
-  and write it to a file (for feeding external tools or ``schedule``).
+  and write it to a file (for feeding external tools or ``schedule``);
+* ``robustness`` — degradation under imperfection: a hardware fault sweep
+  (h vs cp completion versus injected fault rate, with the volume failed
+  over from dead composite paths) followed by a demand-estimation-error
+  sweep (noise / staleness / missed entries).
 
 Examples
 --------
@@ -19,6 +23,8 @@ Examples
     python -m repro figure fig5 --ocs fast --radices 32,64 --trials 3
     python -m repro workload --workload typical --radix 32 --out demand.npy
     python -m repro schedule demand.npy --switch cp --scheduler eclipse
+    python -m repro robustness --radix 32 --trials 2 \
+        --fault-rates 0,0.1,0.3 --error-rates 0,0.1,0.3
 """
 
 from __future__ import annotations
@@ -193,6 +199,85 @@ def cmd_schedule(args) -> int:
     return 0
 
 
+def cmd_robustness(args) -> int:
+    from repro.analysis.figures import degradation_curve
+    from repro.analysis.robustness import robustness_trial
+    from repro.hybrid.solstice import SolsticeScheduler
+    from repro.utils.rng import spawn_rngs
+    from repro.workloads import SkewedWorkload
+
+    params = _params(args)
+    fault_rates = tuple(float(part) for part in args.fault_rates.split(","))
+    error_rates = tuple(float(part) for part in args.error_rates.split(","))
+
+    points = degradation_curve(
+        args.ocs,
+        radix=args.radix,
+        fault_rates=fault_rates,
+        n_trials=args.trials,
+        seed=args.seed,
+    )
+    fault_rows = [
+        [
+            point.fault_rate,
+            point.h_completion,
+            point.cp_completion,
+            point.cp_advantage,
+            point.released_composite,
+        ]
+        for point in points
+    ]
+    print(
+        format_table(
+            ["fault rate", "h total (ms)", "cp total (ms)", "h/cp", "released (Mb)"],
+            fault_rows,
+            title=(
+                f"hardware fault sweep — skewed workload, radix {args.radix}, "
+                f"{args.ocs} OCS, solstice, {args.trials} trials"
+            ),
+        )
+    )
+
+    workload = SkewedWorkload.for_params(params)
+    scheduler = SolsticeScheduler()
+    demands = [
+        workload.generate(args.radix, rng).demand
+        for rng in spawn_rngs(args.seed, args.trials)
+    ]
+    error_rows = []
+    for error in error_rates:
+        h_times, cp_times = [], []
+        for trial, demand in enumerate(demands):
+            h_result, cp_result = robustness_trial(
+                demand,
+                scheduler,
+                params,
+                np.random.default_rng(args.seed + trial),
+                noise=error,
+                staleness=error,
+                miss_rate=error,
+            )
+            h_times.append(h_result.completion_time)
+            cp_times.append(cp_result.completion_time)
+        h_mean = float(np.mean(h_times))
+        cp_mean = float(np.mean(cp_times))
+        error_rows.append(
+            [error, h_mean, cp_mean, h_mean / cp_mean if cp_mean else float("inf")]
+        )
+    print()
+    print(
+        format_table(
+            ["error", "h total (ms)", "cp total (ms)", "h/cp"],
+            error_rows,
+            title=(
+                "estimation-error sweep (noise = staleness = miss rate) — "
+                f"radix {args.radix}, {args.ocs} OCS"
+            ),
+        )
+    )
+    return 0
+
+
 # ---------------------------------------------------------------------- #
 # parser
 # ---------------------------------------------------------------------- #
@@ -235,6 +320,24 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--skewed-ports", type=int, default=1)
     workload.add_argument("--out", required=True, help="output path (.npy or .csv)")
     workload.set_defaults(func=cmd_workload)
+
+    robustness = sub.add_parser(
+        "robustness",
+        help="fault-injection + estimation-error degradation sweeps (h vs cp)",
+    )
+    common(robustness)
+    robustness.add_argument("--trials", type=int, default=2)
+    robustness.add_argument(
+        "--fault-rates",
+        default="0,0.05,0.1,0.2,0.4",
+        help="comma-separated uniform fault rates to sweep",
+    )
+    robustness.add_argument(
+        "--error-rates",
+        default="0,0.1,0.3",
+        help="comma-separated estimation-error levels (applied as noise, staleness and miss rate)",
+    )
+    robustness.set_defaults(func=cmd_robustness)
 
     schedule = sub.add_parser("schedule", help="schedule a demand matrix from a file")
     schedule.add_argument("demand", help="demand matrix file (.npy or .csv)")

@@ -91,10 +91,32 @@ class ReducedDemand:
         return self.reduced[self.n_ports, : self.n_ports]
 
 
+def _blocked_mask(n: int, blocked, name: str) -> "np.ndarray | None":
+    """Normalize a blocked-port spec (iterable of ports or bool mask)."""
+    if blocked is None:
+        return None
+    blocked = np.asarray(
+        sorted(blocked) if isinstance(blocked, (set, frozenset)) else blocked
+    )
+    if blocked.dtype == bool:
+        if blocked.shape != (n,):
+            raise ValueError(f"{name} mask has shape {blocked.shape}, expected ({n},)")
+        return blocked
+    mask = np.zeros(n, dtype=bool)
+    ports = blocked.astype(np.int64, casting="unsafe").ravel()
+    if ports.size and (ports.min() < 0 or ports.max() >= n):
+        raise ValueError(f"{name} ports must be in [0, {n}), got {ports.tolist()}")
+    mask[ports] = True
+    return mask
+
+
 def cp_switch_demand_reduction(
     demand: np.ndarray,
     fanout_threshold: int,
     volume_threshold: float,
+    *,
+    blocked_o2m=None,
+    blocked_m2o=None,
 ) -> ReducedDemand:
     """Algorithm 1: build the reduced demand ``DI`` and filtered demand ``Df``.
 
@@ -108,6 +130,13 @@ def cp_switch_demand_reduction(
     volume_threshold:
         ``Bt`` — entries strictly larger than this never ride a composite
         path.
+    blocked_o2m, blocked_m2o:
+        Optional ports whose one-to-many / many-to-one composite path must
+        not be used — an iterable of port indices or a boolean n-mask.
+        The epoch controller passes the composite ports it has observed
+        dead, so the next scheduling round keeps their rows/columns on the
+        regular paths instead of parking demand on hardware that cannot
+        serve it.
 
     Returns
     -------
@@ -129,6 +158,15 @@ def cp_switch_demand_reduction(
     nonzero = low > VOLUME_TOL
     row_qualifies = nonzero.sum(axis=1) >= fanout_threshold
     col_qualifies = nonzero.sum(axis=0) >= fanout_threshold
+
+    # Fault masking: a row/column whose composite port is known dead can
+    # never qualify — its entries stay on the regular paths.
+    row_blocked = _blocked_mask(n, blocked_o2m, "blocked_o2m")
+    if row_blocked is not None:
+        row_qualifies &= ~row_blocked
+    col_blocked = _blocked_mask(n, blocked_m2o, "blocked_m2o")
+    if col_blocked is not None:
+        col_qualifies &= ~col_blocked
 
     reduced = np.zeros((n + 1, n + 1), dtype=np.float64)
     filtered = np.zeros_like(demand)
@@ -193,7 +231,12 @@ def cp_switch_demand_reduction(
 
 
 def reduce_with_config(
-    demand: np.ndarray, params: SwitchParams, config: "FilterConfig | None" = None
+    demand: np.ndarray,
+    params: SwitchParams,
+    config: "FilterConfig | None" = None,
+    *,
+    blocked_o2m=None,
+    blocked_m2o=None,
 ) -> ReducedDemand:
     """Algorithm 1 with thresholds resolved from a :class:`FilterConfig`."""
     config = config or FilterConfig()
@@ -201,4 +244,6 @@ def reduce_with_config(
         demand,
         fanout_threshold=config.resolve_fanout_threshold(params),
         volume_threshold=config.resolve_volume_threshold(params),
+        blocked_o2m=blocked_o2m,
+        blocked_m2o=blocked_m2o,
     )

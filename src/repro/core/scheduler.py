@@ -173,15 +173,35 @@ class CpSwitchScheduler:
     def name(self) -> str:
         return f"cp-{self.inner.name}"
 
-    def schedule(self, demand: np.ndarray, params: SwitchParams) -> CpSchedule:
-        """Compute the full cp-Switch schedule for ``demand``."""
+    def schedule(
+        self,
+        demand: np.ndarray,
+        params: SwitchParams,
+        *,
+        blocked_o2m=None,
+        blocked_m2o=None,
+    ) -> CpSchedule:
+        """Compute the full cp-Switch schedule for ``demand``.
+
+        ``blocked_o2m`` / ``blocked_m2o`` exclude composite ports observed
+        dead (see :func:`repro.core.reduction.cp_switch_demand_reduction`):
+        their rows/columns stay on the regular paths, which is how the
+        epoch controller degrades a faulted cp-Switch toward an h-Switch
+        instead of parking demand on hardware that cannot serve it.
+        """
         demand = check_demand_matrix(demand)
         n = demand.shape[0]
         if n != params.n_ports:
             raise ValueError(f"demand is {n}x{n} but params.n_ports={params.n_ports}")
 
         # Step 1: reduce and filter (Algorithm 1).
-        reduction = reduce_with_config(demand, params, self.filter_config)
+        reduction = reduce_with_config(
+            demand,
+            params,
+            self.filter_config,
+            blocked_o2m=blocked_o2m,
+            blocked_m2o=blocked_m2o,
+        )
 
         # Step 2: h-Switch scheduling of the reduced demand.
         reduced_schedule = self.inner.schedule(reduction.reduced, params)

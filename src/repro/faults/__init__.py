@@ -1,0 +1,22 @@
+"""Fault injection and graceful cp-Switch → h-Switch degradation.
+
+The paper's evaluation assumes a perfect fabric.  This package supplies
+the machinery to break it on purpose — seedable :class:`FaultPlan`
+realizations covering OCS reconfiguration failures and stragglers, circuit
+setup failures, composite-path port outages, and EPS rate degradation —
+and the simulators in :mod:`repro.sim` consume it so that a faulted
+schedule still conserves volume: failed circuits serve zero rate, demand
+parked on a dead composite path falls back to the regular EPS/OCS paths,
+and :meth:`repro.sim.metrics.SimulationResult.check_conservation` holds
+under every fault mix.
+"""
+
+from repro.faults.injector import FaultInjector, as_injector
+from repro.faults.plan import FaultPlan, FaultSummary
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSummary",
+    "as_injector",
+]

@@ -14,6 +14,14 @@ Differences from the h-Switch execution:
 As with :func:`repro.sim.hybrid_sim.simulate_hybrid`, a ``horizon`` bounds
 execution: phases truncate at the horizon and the leftover — including
 composite residual the schedule never got to — is reported, not drained.
+
+``faults`` injects hardware imperfections (see :mod:`repro.faults`).  On
+top of the h-Switch channels (reconfiguration failures/stragglers, circuit
+setup failures, EPS degradation), a granted composite path's port can
+suffer a *permanent outage*: the grant is dropped and the filtered demand
+parked on the dead path is immediately released back to the regular
+EPS/OCS paths — the cp-Switch degrades gracefully toward h-Switch
+behaviour, completion time rises, and volume is never lost.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import numpy as np
 
 from repro.core.multipath import MultiPathCpSchedule
 from repro.core.scheduler import CpSchedule
+from repro.faults.injector import as_injector
 from repro.sim.engine import CompositeService, FluidEngine
 from repro.sim.metrics import SimulationResult
 from repro.switch.params import SwitchParams
@@ -32,6 +41,7 @@ def simulate_cp(
     cp_schedule: CpSchedule,
     params: SwitchParams,
     horizon: "float | None" = None,
+    faults=None,
 ) -> SimulationResult:
     """Execute a base (single path per direction) cp-Switch schedule.
 
@@ -46,6 +56,10 @@ def simulate_cp(
     horizon:
         Optional execution budget (ms); see
         :func:`repro.sim.hybrid_sim.simulate_hybrid`.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` or pre-built
+        :class:`~repro.faults.injector.FaultInjector`; ``None`` executes
+        the fault-free model bit-identically to earlier releases.
     """
     def composites_for(entry) -> "list[CompositeService]":
         services: list[CompositeService] = []
@@ -65,6 +79,7 @@ def simulate_cp(
         horizon,
         n_configs=cp_schedule.n_configs,
         makespan=cp_schedule.makespan,
+        faults=faults,
     )
 
 
@@ -73,13 +88,16 @@ def simulate_multipath(
     mp_schedule: MultiPathCpSchedule,
     params: SwitchParams,
     horizon: "float | None" = None,
+    faults=None,
 ) -> SimulationResult:
     """Execute a k-path cp-Switch schedule (§4 extension).
 
     Each granted path serves only the filtered entries the reduction
     assigned to it (its *lane*), unlike the base scheduler which serves the
     whole filtered row/column — with k paths the lanes are what prevents two
-    paths from double-serving one entry.
+    paths from double-serving one entry.  A composite-port outage
+    (``faults``) kills one (direction, port) lane set; its parked demand
+    falls back to the regular paths.
     """
     reduction = mp_schedule.reduction
 
@@ -103,7 +121,29 @@ def simulate_multipath(
         horizon,
         n_configs=mp_schedule.n_configs,
         makespan=mp_schedule.makespan,
+        faults=faults,
     )
+
+
+def _surviving_composites(engine, injector, services):
+    """Drop grants on dead composite ports, failing their demand over.
+
+    The outage is discovered at grant time (the controller cannot see a
+    port die until it tries to use it); the parked composite residual of a
+    dead path is released to the regular matrices *before* the phase runs,
+    so the EPS — and any circuit matching those entries — serves it from
+    this configuration onward.
+    """
+    alive = []
+    for service in services:
+        if injector.composite_port_up(service.kind, service.port):
+            alive.append(service)
+        else:
+            released = engine.release_composite(
+                service.kind, service.port, service.lane_mask
+            )
+            injector.note_released(released)
+    return alive
 
 
 def _run(
@@ -117,11 +157,14 @@ def _run(
     *,
     n_configs: int,
     makespan: float,
+    faults=None,
 ) -> SimulationResult:
     if horizon is not None and horizon < 0:
         raise ValueError(f"horizon must be non-negative, got {horizon}")
     engine = FluidEngine(np.asarray(demand, dtype=np.float64), params)
     engine.assign_composite(filtered)
+    injector = as_injector(faults, engine.n)
+    eps_scale = injector.eps_port_scale if injector is not None else None
 
     def budget(duration: float) -> float:
         if horizon is None:
@@ -133,25 +176,49 @@ def _run(
         if horizon is not None and engine.clock >= horizon:
             truncated = True
             break
-        engine.run_phase(budget(params.reconfig_delay))
+        if injector is not None:
+            delta, established = injector.reconfigure(params.reconfig_delay)
+        else:
+            delta, established = params.reconfig_delay, True
+        engine.run_phase(budget(delta), eps_port_scale=eps_scale)
         if horizon is not None and engine.clock >= horizon:
             truncated = True
             break
+        if established:
+            circuits = circuits_for(entry)
+            composites = composites_for(entry)
+            if injector is not None:
+                circuits = injector.surviving_circuits(circuits)
+                composites = _surviving_composites(engine, injector, composites)
+        else:
+            # The whole configuration failed to establish: neither its
+            # circuits nor its composite grants exist; parked filtered
+            # demand simply waits for a later grant.
+            circuits, composites = None, ()
         engine.run_phase(
             budget(entry.duration),
-            circuits=circuits_for(entry),
-            composites=composites_for(entry),
+            circuits=circuits,
+            composites=composites,
+            eps_port_scale=eps_scale,
         )
     if horizon is not None and engine.clock >= horizon:
         truncated = True
 
+    summary = injector.summary if injector is not None else None
     if horizon is None:
         engine.merge_composite_into_regular()
-        engine.run_phase(None)
-        return engine.result(n_configs=n_configs, makespan=makespan)
+        engine.run_phase(None, eps_port_scale=eps_scale)
+        return engine.result(
+            n_configs=n_configs, makespan=makespan, fault_summary=summary
+        )
     if not truncated:
         # The schedule finished before the horizon: composite leftovers
         # become ordinary packet traffic for the remaining budget.
         engine.merge_composite_into_regular()
-        engine.run_phase(horizon - engine.clock)
-    return engine.result(n_configs=n_configs, makespan=makespan, allow_residual=True)
+        engine.run_phase(horizon - engine.clock, eps_port_scale=eps_scale)
+    return engine.result(
+        n_configs=n_configs,
+        makespan=makespan,
+        allow_residual=True,
+        fault_summary=summary,
+    )

@@ -110,6 +110,7 @@ class FluidEngine:
         self.served_composite = 0.0
         self.served_eps = 0.0
         self.total_demand = float(demand.sum())
+        self.released_composite = 0.0
         self._rebuild_support()
 
     # ------------------------------------------------------------------ #
@@ -183,6 +184,41 @@ class FluidEngine:
         self.composite[:] = 0.0
         self._rebuild_support()
 
+    def release_composite(
+        self, kind: str, port: int, lane_mask: "np.ndarray | None" = None
+    ) -> float:
+        """Fail a composite path over: park its demand on the regular paths.
+
+        When the one-to-many path of sender ``port`` (``kind="o2m"``) or
+        the many-to-one path of receiver ``port`` (``kind="m2o"``) suffers
+        a hardware outage, the filtered demand waiting on it can never be
+        served by that path again.  This moves the affected composite
+        residual back onto ``regular``, where circuits and the EPS serve it
+        like any other demand — the graceful cp-Switch → h-Switch
+        degradation: completion time rises, volume is never lost.
+
+        Must be called between phases (like :meth:`assign_composite`);
+        returns the released volume (Mb).  ``lane_mask`` restricts the
+        release to one k-path lane's entries.
+        """
+        if kind not in ("o2m", "m2o"):
+            raise ValueError(f"kind must be 'o2m' or 'm2o', got {kind!r}")
+        if not 0 <= port < self.n:
+            raise ValueError(f"port must be in [0, {self.n}), got {port}")
+        residual = self.composite[port, :] if kind == "o2m" else self.composite[:, port]
+        mask = residual > 0.0
+        if lane_mask is not None:
+            mask &= np.asarray(lane_mask, dtype=bool)
+        released = float(residual[mask].sum())
+        if released <= 0.0:
+            return 0.0
+        regular = self.regular[port, :] if kind == "o2m" else self.regular[:, port]
+        regular[mask] += residual[mask]
+        residual[mask] = 0.0
+        self.released_composite += released
+        self._rebuild_support()
+        return released
+
     # ------------------------------------------------------------------ #
     # phase execution
     # ------------------------------------------------------------------ #
@@ -193,6 +229,7 @@ class FluidEngine:
         circuits: "np.ndarray | None" = None,
         composites: "tuple[CompositeService, ...] | list[CompositeService]" = (),
         eps_enabled: bool = True,
+        eps_port_scale: "np.ndarray | None" = None,
     ) -> None:
         """Advance the simulation through one constant-configuration phase.
 
@@ -209,11 +246,28 @@ class FluidEngine:
         eps_enabled:
             Whether the EPS serves regular demand (always true in the
             paper's model; disabling it isolates mechanisms in tests).
+        eps_port_scale:
+            Optional per-port capacity factors in [0, 1] (fault injection:
+            degraded EPS line rates).  Scales each port's EPS capacity in
+            both directions and caps each composite path's per-entry rate
+            at its EPS-leg link capacity; ``None`` (the default and the
+            fault-free path) keeps every port at ``Ce``.
         """
         open_ended = duration is None
         remaining = np.inf if open_ended else float(duration)
         if not open_ended and remaining < 0:
             raise ValueError(f"duration must be non-negative, got {duration}")
+        if eps_port_scale is None:
+            base_cap = None
+        else:
+            scale = np.asarray(eps_port_scale, dtype=np.float64)
+            if scale.shape != (self.n,):
+                raise ValueError(
+                    f"eps_port_scale has shape {scale.shape}, expected ({self.n},)"
+                )
+            if np.any(scale < 0.0) or np.any(scale > 1.0):
+                raise ValueError("eps_port_scale factors must be in [0, 1]")
+            base_cap = self.params.eps_rate * scale
 
         # ---- phase-constant bookkeeping --------------------------------
         if circuits is not None:
@@ -252,8 +306,12 @@ class FluidEngine:
             # -- rates for the current residuals --
             reg_rate.fill(0.0)
             comp_rate.fill(0.0)
-            in_cap.fill(params.eps_rate)
-            out_cap.fill(params.eps_rate)
+            if base_cap is None:
+                in_cap.fill(params.eps_rate)
+                out_cap.fill(params.eps_rate)
+            else:
+                in_cap[:] = base_cap
+                out_cap[:] = base_cap
 
             # Regular OCS circuits.
             circuit_total = 0.0
@@ -272,12 +330,24 @@ class FluidEngine:
                 if count == 0:
                     continue
                 rate = min(eps_budget, ocs_rate / count)
-                comp_rate[positions[active]] += rate
-                if is_o2m:
-                    out_cap[partners[active]] -= rate  # destination EPS links
+                if base_cap is None:
+                    comp_rate[positions[active]] += rate
+                    if is_o2m:
+                        out_cap[partners[active]] -= rate  # destination EPS links
+                    else:
+                        in_cap[partners[active]] -= rate  # source EPS links
+                    composite_total += rate * count
                 else:
-                    in_cap[partners[active]] -= rate  # source EPS links
-                composite_total += rate * count
+                    # Each filtered entry's EPS leg is capped by its own
+                    # (possibly degraded) link rate.
+                    live_partners = partners[active]
+                    per_entry = np.minimum(rate, base_cap[live_partners])
+                    comp_rate[positions[active]] += per_entry
+                    if is_o2m:
+                        out_cap[live_partners] -= per_entry
+                    else:
+                        in_cap[live_partners] -= per_entry
+                    composite_total += float(per_entry.sum())
             np.clip(in_cap, 0.0, None, out=in_cap)
             np.clip(out_cap, 0.0, None, out=out_cap)
 
@@ -399,13 +469,20 @@ class FluidEngine:
         return float(self.regular.sum() + self.composite.sum())
 
     def result(
-        self, n_configs: int, makespan: float, *, allow_residual: bool = False
+        self,
+        n_configs: int,
+        makespan: float,
+        *,
+        allow_residual: bool = False,
+        fault_summary=None,
     ) -> SimulationResult:
         """Freeze the engine state into a :class:`SimulationResult`.
 
         With ``allow_residual`` (horizon-bounded executions) the leftover
         demand is reported instead of rejected; pending entries keep their
         ``nan`` finish times and the completion time becomes ``nan``.
+        ``fault_summary`` attaches the injected-fault record of a faulted
+        run.
         """
         leftover = self.residual_total()
         if leftover > VOLUME_TOL * max(1, self.n) ** 2 and not allow_residual:
@@ -431,6 +508,8 @@ class FluidEngine:
             served_eps=self.served_eps,
             total_demand=self.total_demand,
             residual=(self.regular + self.composite) if allow_residual else None,
+            released_composite=self.released_composite,
+            fault_summary=fault_summary,
         )
         result.check_conservation(tol=1e-6)
         return result

@@ -9,12 +9,19 @@ A ``horizon`` bounds execution to a fixed wall-clock budget instead —
 phases are truncated at the horizon and the leftover demand is reported as
 residual (used by the closed-loop epoch controller to study sustained
 load).
+
+``faults`` injects hardware imperfections (see :mod:`repro.faults`): a
+failed reconfiguration burns δ and then holds the configuration dark (EPS
+keeps serving, circuits serve zero rate), a straggling one stretches δ,
+individual circuits can fail to establish, and degraded EPS ports serve at
+a fraction of ``Ce`` — all without ever losing volume.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.faults.injector import as_injector
 from repro.hybrid.schedule import Schedule
 from repro.sim.engine import FluidEngine
 from repro.sim.metrics import SimulationResult
@@ -26,6 +33,7 @@ def simulate_hybrid(
     schedule: Schedule,
     params: SwitchParams,
     horizon: "float | None" = None,
+    faults=None,
 ) -> SimulationResult:
     """Execute ``schedule`` on ``demand``; return completion metrics.
 
@@ -43,6 +51,11 @@ def simulate_hybrid(
         Optional execution budget (ms).  ``None`` runs to completion;
         otherwise execution stops at the horizon and the result carries
         the residual demand.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` (realized with
+        stream 0) or pre-built :class:`~repro.faults.injector.FaultInjector`
+        describing hardware faults to inject.  ``None`` — the default —
+        executes the fault-free model bit-identically to earlier releases.
     """
     demand = np.asarray(demand, dtype=np.float64)
     if len(schedule) and schedule[0].size != demand.shape[0]:
@@ -54,6 +67,8 @@ def simulate_hybrid(
     if horizon is not None and horizon < 0:
         raise ValueError(f"horizon must be non-negative, got {horizon}")
     engine = FluidEngine(demand, params)
+    injector = as_injector(faults, demand.shape[0])
+    eps_scale = injector.eps_port_scale if injector is not None else None
 
     def budget(duration: float) -> float:
         if horizon is None:
@@ -63,16 +78,34 @@ def simulate_hybrid(
     for entry in schedule:
         if horizon is not None and engine.clock >= horizon:
             break
-        engine.run_phase(budget(params.reconfig_delay))  # OCS dark, EPS on
+        if injector is not None:
+            delta, established = injector.reconfigure(params.reconfig_delay)
+        else:
+            delta, established = params.reconfig_delay, True
+        engine.run_phase(budget(delta), eps_port_scale=eps_scale)  # OCS dark, EPS on
         if horizon is not None and engine.clock >= horizon:
             break
-        engine.run_phase(budget(entry.duration), circuits=entry.permutation)
+        circuits = entry.permutation if established else None
+        if injector is not None and established:
+            circuits = injector.surviving_circuits(circuits)
+        engine.run_phase(
+            budget(entry.duration), circuits=circuits, eps_port_scale=eps_scale
+        )
 
+    summary = injector.summary if injector is not None else None
     if horizon is None:
-        engine.run_phase(None)  # EPS-only drain of leftovers
-        return engine.result(n_configs=schedule.n_configs, makespan=schedule.makespan)
+        engine.run_phase(None, eps_port_scale=eps_scale)  # EPS-only drain
+        return engine.result(
+            n_configs=schedule.n_configs,
+            makespan=schedule.makespan,
+            fault_summary=summary,
+        )
     if engine.clock < horizon:
-        engine.run_phase(horizon - engine.clock)  # EPS-only until the horizon
+        # EPS-only until the horizon.
+        engine.run_phase(horizon - engine.clock, eps_port_scale=eps_scale)
     return engine.result(
-        n_configs=schedule.n_configs, makespan=schedule.makespan, allow_residual=True
+        n_configs=schedule.n_configs,
+        makespan=schedule.makespan,
+        allow_residual=True,
+        fault_summary=summary,
     )

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults.plan import FaultSummary
+
 
 @dataclass(frozen=True)
 class RateSegment:
@@ -81,6 +83,15 @@ class SimulationResult:
         Undelivered n×n demand (Mb) — non-zero only for horizon-bounded
         executions; entries still pending have ``nan`` finish times and
         ``completion_time`` is then ``nan`` as well.
+    released_composite:
+        Volume (Mb) that was parked on a composite path whose port died
+        and *fell back* to the regular EPS/OCS paths (graceful cp-Switch →
+        h-Switch degradation).  Whatever of it was delivered is counted
+        under ``served_ocs_direct``/``served_eps``, so conservation is
+        unaffected; this field records how much demand had to be re-routed.
+    fault_summary:
+        Record of the faults injected into this run, or ``None`` for a
+        fault-free execution.
     """
 
     finish_times: np.ndarray
@@ -93,11 +104,36 @@ class SimulationResult:
     served_eps: float = 0.0
     total_demand: float = 0.0
     residual: "np.ndarray | None" = None
+    released_composite: float = 0.0
+    fault_summary: "FaultSummary | None" = None
 
     @property
     def residual_total(self) -> float:
         """Total undelivered volume (Mb); 0 for run-to-completion results."""
         return float(self.residual.sum()) if self.residual is not None else 0.0
+
+    @property
+    def delivered_volume(self) -> float:
+        """Total volume (Mb) delivered across all mechanisms."""
+        return self.served_ocs_direct + self.served_composite + self.served_eps
+
+    @property
+    def stranded_volume(self) -> float:
+        """Volume (Mb) still undelivered when the run ended.
+
+        The delivered-vs-stranded ledger: ``delivered_volume +
+        stranded_volume == total_demand`` (asserted by
+        :meth:`check_conservation`).  Run-to-completion executions strand
+        nothing — even under faults, dead-path demand falls back to the
+        regular paths and drains; horizon-bounded executions strand the
+        residual.
+        """
+        return self.residual_total
+
+    @property
+    def faulted(self) -> bool:
+        """Whether any fault was injected into this run."""
+        return self.fault_summary is not None and self.fault_summary.total_events > 0
 
     @property
     def finished(self) -> bool:
@@ -176,11 +212,22 @@ class SimulationResult:
     # ------------------------------------------------------------------ #
 
     def check_conservation(self, tol: float = 1e-6) -> None:
-        """Raise if delivered + residual volume does not match the demand."""
-        delivered = self.served_ocs_direct + self.served_composite + self.served_eps
+        """Raise if delivered + stranded volume does not match the demand.
+
+        This must hold under every fault mix: faults re-route volume
+        (dead composite paths fall back to regular paths) or delay it
+        (failed circuits, straggling reconfigurations), but never destroy
+        it.
+        """
+        delivered = self.delivered_volume
         drift = abs(delivered + self.residual_total - self.total_demand)
         if drift > tol * max(1.0, self.total_demand):
             raise AssertionError(
                 f"volume conservation violated: delivered={delivered} Mb, "
                 f"residual={self.residual_total} Mb, demand={self.total_demand} Mb"
+            )
+        if self.released_composite > self.total_demand + tol * max(1.0, self.total_demand):
+            raise AssertionError(
+                f"released composite volume ({self.released_composite} Mb) exceeds "
+                f"the total demand ({self.total_demand} Mb)"
             )

@@ -47,11 +47,27 @@ class TestPerturbDemand:
 
     def test_invalid_params_rejected(self, sparse_demand):
         with pytest.raises(ValueError):
-            perturb_demand(sparse_demand, staleness=1.0)
+            perturb_demand(sparse_demand, staleness=1.5)
+        with pytest.raises(ValueError):
+            perturb_demand(sparse_demand, staleness=-0.1)
         with pytest.raises(ValueError):
             perturb_demand(sparse_demand, miss_rate=1.5)
         with pytest.raises(ValueError):
+            perturb_demand(sparse_demand, miss_rate=-0.1)
+        with pytest.raises(ValueError):
             perturb_demand(sparse_demand, noise=-0.1)
+
+    def test_boundary_values_mean_fully_blind(self, sparse_demand):
+        # staleness and miss_rate share the same closed-interval validation:
+        # 1.0 is legal for both and each yields the all-zero estimate.
+        stale = perturb_demand(sparse_demand, np.random.default_rng(0), staleness=1.0)
+        assert stale.sum() == 0.0
+        missed = perturb_demand(sparse_demand, np.random.default_rng(0), miss_rate=1.0)
+        assert missed.sum() == 0.0
+        fresh = perturb_demand(
+            sparse_demand, np.random.default_rng(0), staleness=0.0, miss_rate=0.0
+        )
+        np.testing.assert_allclose(fresh, sparse_demand)
 
 
 class TestSimulateWithEstimate:
@@ -120,3 +136,18 @@ class TestRobustnessTrial:
             cp_result.completion_time
         )
         assert h_result.finished
+
+    def test_blind_results_are_independent_objects(self, skewed_demand16):
+        # Regression: the blind branch used to return the SAME result for
+        # both switches, so mutating one handle corrupted the other.
+        params = fast_ocs_params(16)
+        h_result, cp_result = robustness_trial(
+            skewed_demand16,
+            SolsticeScheduler(),
+            params,
+            np.random.default_rng(0),
+            staleness=1.0,
+        )
+        assert h_result is not cp_result
+        assert h_result.finish_times is not cp_result.finish_times
+        np.testing.assert_array_equal(h_result.finish_times, cp_result.finish_times)

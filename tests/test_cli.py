@@ -88,6 +88,33 @@ class TestScheduleCommand:
         assert "h-Switch / solstice" in capsys.readouterr().out
 
 
+class TestRobustnessCommand:
+    def test_fault_and_error_sweeps(self, capsys):
+        code = main(
+            [
+                "robustness",
+                "--radix",
+                "16",
+                "--trials",
+                "1",
+                "--fault-rates",
+                "0,0.5",
+                "--error-rates",
+                "0,0.3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hardware fault sweep" in out
+        assert "released (Mb)" in out
+        assert "h/cp" in out
+        assert "estimation-error sweep" in out
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            main(["robustness", "--radix", "16", "--trials", "1", "--fault-rates", "2"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

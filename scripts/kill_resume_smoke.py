@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke test for the resumable sweep runner.
+
+Scenario (the tentpole acceptance criterion of the resilient-execution
+work):
+
+1. start a journaled ``python -m repro compare`` sweep in a subprocess;
+2. SIGKILL it as soon as the journal holds at least one completed trial
+   (mid-sweep, no chance to clean up);
+3. ``python -m repro sweep --resume <journal>`` to finish the remainder;
+4. run the identical sweep uninterrupted into a second journal;
+5. assert the merged journal matches the uninterrupted one bit-for-bit on
+   every deterministic payload field, and that no completed trial was
+   re-executed (each key has exactly one trial record).
+
+Wall-clock fields (``sched_seconds``, ``elapsed_s``) are scrubbed before
+comparison — they measure the host, not the experiment.
+
+Exit code 0 = pass.  Used by CI (see .github/workflows/ci.yml) and by
+``tests/test_runner_kill_resume.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")])
+    )
+    return env
+
+
+def scrub(obj):
+    """Drop wall-clock timing fields (non-deterministic by nature)."""
+    if isinstance(obj, dict):
+        return {k: scrub(v) for k, v in obj.items() if k != "sched_seconds"}
+    if isinstance(obj, list):
+        return [scrub(v) for v in obj]
+    return obj
+
+
+def trial_records(path: Path) -> "list[dict]":
+    records = []
+    if not path.exists():
+        return records
+    for line in path.read_text().splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn line from the kill; the loader tolerates it too
+        if record.get("kind") == "trial":
+            records.append(record)
+    return records
+
+
+def trial_payloads(path: Path) -> "dict[str, dict]":
+    return {
+        r["key"]: scrub(r["payload"])
+        for r in trial_records(path)
+        if r.get("status") == "ok"
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--radix", type=int, default=16)
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument(
+        "--workdir", default=None, help="where to put the journals (default: mkdtemp)"
+    )
+    args = parser.parse_args(argv)
+
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="kill-resume-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    interrupted = workdir / "interrupted.jsonl"
+    reference = workdir / "reference.jsonl"
+    sweep_cmd = [
+        sys.executable, "-m", "repro", "compare",
+        "--radix", str(args.radix), "--trials", str(args.trials),
+        "--retries", "0",
+    ]
+    env = _env()
+
+    # 1+2. Start the sweep; SIGKILL it once the first trial is journaled.
+    victim = subprocess.Popen(
+        sweep_cmd + ["--journal", str(interrupted)],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.time() + args.timeout
+    killed = False
+    while time.time() < deadline:
+        if trial_records(interrupted):
+            victim.send_signal(signal.SIGKILL)
+            killed = True
+            break
+        if victim.poll() is not None:
+            break
+        time.sleep(0.02)
+    victim.wait()
+    if not killed:
+        print("FAIL: sweep finished (or timed out) before it could be killed;"
+              " raise --trials", file=sys.stderr)
+        return 1
+
+    survived = trial_payloads(interrupted)
+    if not survived:
+        print("FAIL: no completed trial survived the kill", file=sys.stderr)
+        return 1
+    if len(survived) >= args.trials:
+        print("FAIL: the kill landed after the sweep finished", file=sys.stderr)
+        return 1
+    print(f"killed mid-sweep with {len(survived)}/{args.trials} trials journaled")
+
+    # 3. Resume the interrupted journal.
+    resume = subprocess.run(
+        [sys.executable, "-m", "repro", "sweep", "--resume", str(interrupted)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if resume.returncode != 0:
+        print(f"FAIL: resume exited {resume.returncode}\n{resume.stderr}", file=sys.stderr)
+        return 1
+
+    # 4. Uninterrupted reference run of the identical sweep.
+    ref = subprocess.run(
+        sweep_cmd + ["--journal", str(reference)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if ref.returncode != 0:
+        print(f"FAIL: reference run exited {ref.returncode}\n{ref.stderr}", file=sys.stderr)
+        return 1
+
+    # 5a. Zero re-executed trials: every key has exactly one trial record,
+    # and the records that survived the kill are byte-identical afterwards.
+    records = trial_records(interrupted)
+    keys = [r["key"] for r in records]
+    if sorted(set(keys)) != sorted(keys):
+        print(f"FAIL: resume re-executed completed trials: {keys}", file=sys.stderr)
+        return 1
+    merged = trial_payloads(interrupted)
+    for key, payload in survived.items():
+        if merged.get(key) != payload:
+            print(f"FAIL: resume rewrote surviving trial {key}", file=sys.stderr)
+            return 1
+
+    # 5b. Bit-identical results: merged journal == uninterrupted journal on
+    # every deterministic field.
+    expected = trial_payloads(reference)
+    if merged != expected:
+        for key in sorted(set(merged) | set(expected)):
+            if merged.get(key) != expected.get(key):
+                print(f"FAIL: payload mismatch at {key}:\n  resumed:   "
+                      f"{merged.get(key)}\n  reference: {expected.get(key)}",
+                      file=sys.stderr)
+        return 1
+
+    print(
+        f"kill-resume smoke OK: {len(survived)} trials survived the kill, "
+        f"{args.trials - len(survived)} resumed, aggregates bit-identical "
+        f"({len(expected)} trials compared)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

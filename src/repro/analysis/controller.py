@@ -30,7 +30,7 @@ the VOQs and is retried in the next round automatically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -38,6 +38,7 @@ import numpy as np
 from repro.core.scheduler import CpSwitchScheduler
 from repro.faults.plan import FaultPlan
 from repro.hybrid.base import HybridScheduler
+from repro.runner.journal import RunJournal
 from repro.sim import simulate_cp, simulate_hybrid
 from repro.sim.metrics import SimulationResult
 from repro.switch.params import SwitchParams
@@ -101,6 +102,11 @@ class EpochController:
         Optional :class:`~repro.faults.plan.FaultPlan` injected into every
         epoch's execution (stream = epoch index).  Composite ports observed
         dead are excluded from all subsequent scheduling rounds.
+    journal:
+        Optional :class:`~repro.runner.journal.RunJournal` receiving one
+        ``epoch`` record (the :class:`EpochReport` fields plus any
+        scheduler watchdog diagnostics) per epoch, atomically — a killed
+        multi-epoch run keeps every completed epoch's report on disk.
     """
 
     params: SwitchParams
@@ -108,6 +114,7 @@ class EpochController:
     use_composite_paths: bool = False
     epoch_duration: "float | None" = None
     fault_plan: "FaultPlan | None" = None
+    journal: "RunJournal | None" = None
     _voqs: VirtualOutputQueues = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -178,6 +185,14 @@ class EpochController:
             dead_o2m=tuple(sorted(self._dead_o2m)),
             dead_m2o=tuple(sorted(self._dead_m2o)),
         )
+        if self.journal is not None:
+            diagnostics = [
+                diag.to_dict()
+                for diag in getattr(self.scheduler, "last_diagnostics", [])
+            ]
+            self.journal.append(
+                {"kind": "epoch", "report": asdict(report), "diagnostics": diagnostics}
+            )
         return report, result
 
     def run(self, arrivals: ArrivalProcess, n_epochs: int) -> "list[EpochReport]":

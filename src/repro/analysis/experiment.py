@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -34,7 +34,7 @@ from repro.hybrid.base import HybridScheduler, make_scheduler
 from repro.hybrid.eclipse import EclipseScheduler
 from repro.sim import simulate_cp, simulate_hybrid
 from repro.sim.metrics import SimulationResult
-from repro.switch.params import SwitchParams
+from repro.switch.params import SwitchParams, ocs_params
 from repro.utils.rng import spawn_rngs
 from repro.workloads.base import DemandSpec, Workload
 
@@ -47,7 +47,13 @@ def default_trials() -> int:
     raw = os.environ.get("REPRO_SEEDS")
     if raw is None:
         return DEFAULT_TRIALS
-    value = int(raw)
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SEEDS must be an integer >= 1, got {raw!r} "
+            "(unset it or export e.g. REPRO_SEEDS=5)"
+        ) from None
     if value < 1:
         raise ValueError(f"REPRO_SEEDS must be >= 1, got {value}")
     return value
@@ -216,6 +222,148 @@ def _run_cp_trial(
         elapsed,
         window,
         composite_volume=cp_schedule.reduction.composite_volume,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# resumable-sweep building blocks (repro.runner)
+# ---------------------------------------------------------------------- #
+
+
+def make_workload(name: str, params: SwitchParams, skewed_ports: int = 1) -> Workload:
+    """Workload factory by name — the string form journaled sweeps store."""
+    from repro.workloads import (
+        CombinedWorkload,
+        SkewedWorkload,
+        TypicalBackgroundWorkload,
+        VaryingSkewWorkload,
+    )
+
+    if name == "skewed":
+        return SkewedWorkload.for_params(params)
+    if name == "background":
+        return TypicalBackgroundWorkload.for_params(params)
+    if name == "typical":
+        return CombinedWorkload.typical(params)
+    if name == "intensive":
+        return CombinedWorkload.intensive(params)
+    if name == "varying":
+        return VaryingSkewWorkload.for_params(params, n_skewed_ports=skewed_ports)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def trial_rng(seed: int, trial: int) -> np.random.Generator:
+    """Generator for trial ``trial`` of a sweep rooted at ``seed``.
+
+    Identical to ``spawn_rngs(seed, n)[trial]`` for any ``n > trial``
+    (SeedSequence children depend only on their index), so a trial executed
+    alone — e.g. retried in a subprocess worker, or re-run from a resumed
+    journal — sees exactly the demand it would have seen in a full
+    sequential run.
+    """
+    return spawn_rngs(seed, trial + 1)[trial]
+
+
+def _trial_spec(
+    workload: str, ocs: str, radix: int, seed: int, trial: int, skewed_ports: int
+) -> DemandSpec:
+    params = ocs_params(ocs, radix)
+    generator = make_workload(workload, params, skewed_ports)
+    return generator.generate(radix, trial_rng(seed, trial))
+
+
+def comparison_trial(
+    *,
+    workload: str,
+    ocs: str,
+    radix: int,
+    scheduler: str = "solstice",
+    seed: int = 2016,
+    trial: int = 0,
+    skewed_ports: int = 1,
+    window: "float | None" = None,
+) -> dict:
+    """One journaled h-vs-cp comparison trial (JSON in, JSON out).
+
+    This is the unit the sweep runner executes in subprocess workers: every
+    argument is a plain JSON scalar (persisted in the journal header), and
+    the returned payload is a JSON dict of both switches' metrics plus any
+    scheduler watchdog diagnostics.  Trial ``t`` here is bit-identical to
+    trial ``t`` of :func:`run_comparison` on the same configuration.
+    """
+    params = ocs_params(ocs, radix)
+    spec = _trial_spec(workload, ocs, radix, seed, trial, skewed_ports)
+    inner = make_scheduler(scheduler)
+    cp_scheduler = CpSwitchScheduler(inner)
+    resolved_window = (
+        float(window)
+        if window is not None
+        else EclipseScheduler().resolved_window(params)
+    )
+    h = _run_h_trial(spec, inner, params, resolved_window)
+    diagnostics = [d.to_dict() for d in getattr(inner, "last_diagnostics", [])]
+    cp = _run_cp_trial(spec, cp_scheduler, params, resolved_window)
+    diagnostics += [d.to_dict() for d in getattr(inner, "last_diagnostics", [])]
+    return {
+        "n_ports": radix,
+        "trial": trial,
+        "h": asdict(h),
+        "cp": asdict(cp),
+        "diagnostics": diagnostics,
+    }
+
+
+def comparison_demand(
+    *,
+    workload: str,
+    ocs: str,
+    radix: int,
+    scheduler: str = "solstice",
+    seed: int = 2016,
+    trial: int = 0,
+    skewed_ports: int = 1,
+    window: "float | None" = None,
+) -> np.ndarray:
+    """The exact demand matrix :func:`comparison_trial` schedules.
+
+    Used by the quarantine machinery to write a reproducible ``.npz`` next
+    to a failed trial's journal record (``scheduler``/``window`` are
+    accepted so the two functions share one kwargs dict).
+    """
+    return _trial_spec(workload, ocs, radix, seed, trial, skewed_ports).demand
+
+
+def comparison_from_payloads(payloads: "list[dict]") -> ComparisonAggregate:
+    """Rebuild a :class:`ComparisonAggregate` from journaled trial payloads.
+
+    Payloads are sorted by trial index first, so a resumed sweep (which
+    sees completed trials in journal order) aggregates bit-identically to
+    an uninterrupted run.
+    """
+    if not payloads:
+        raise ValueError("cannot aggregate an empty payload list")
+    rows = sorted(payloads, key=lambda p: p["trial"])
+    h_rows = [TrialMetrics(**row["h"]) for row in rows]
+    cp_rows = [TrialMetrics(**row["cp"]) for row in rows]
+
+    def agg(metric_rows: "list[TrialMetrics]", attr: str) -> Aggregate:
+        return aggregate([getattr(row, attr) for row in metric_rows])
+
+    return ComparisonAggregate(
+        n_ports=int(rows[0]["n_ports"]),
+        h_completion_total=agg(h_rows, "completion_total"),
+        cp_completion_total=agg(cp_rows, "completion_total"),
+        h_completion_o2m=agg(h_rows, "completion_o2m"),
+        cp_completion_o2m=agg(cp_rows, "completion_o2m"),
+        h_completion_m2o=agg(h_rows, "completion_m2o"),
+        cp_completion_m2o=agg(cp_rows, "completion_m2o"),
+        h_ocs_fraction=agg(h_rows, "ocs_fraction"),
+        cp_ocs_fraction=agg(cp_rows, "ocs_fraction"),
+        h_configs=agg(h_rows, "n_configs"),
+        cp_configs=agg(cp_rows, "n_configs"),
+        h_sched_seconds=agg(h_rows, "sched_seconds"),
+        cp_sched_seconds=agg(cp_rows, "sched_seconds"),
+        n_trials=len(rows),
     )
 
 

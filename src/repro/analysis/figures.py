@@ -30,7 +30,7 @@ from repro.analysis.robustness import fault_trial
 from repro.analysis.runtime import RuntimeRow, runtime_row
 from repro.faults.plan import FaultPlan
 from repro.hybrid.solstice import SolsticeScheduler
-from repro.switch.params import SwitchParams, fast_ocs_params, slow_ocs_params
+from repro.switch.params import SwitchParams, ocs_params
 from repro.utils.rng import spawn_rngs
 from repro.workloads.combined import CombinedWorkload
 from repro.workloads.skewed import SkewedWorkload
@@ -44,11 +44,7 @@ DEFAULT_SEED: int = 2016
 
 def params_for(ocs: str, n_ports: int) -> SwitchParams:
     """Switch parameters for an OCS class name (``"fast"`` / ``"slow"``)."""
-    if ocs == "fast":
-        return fast_ocs_params(n_ports)
-    if ocs == "slow":
-        return slow_ocs_params(n_ports)
-    raise ValueError(f"unknown OCS class {ocs!r}; expected 'fast' or 'slow'")
+    return ocs_params(ocs, n_ports)
 
 
 @dataclass(frozen=True)

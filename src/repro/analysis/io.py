@@ -27,6 +27,7 @@ from repro.analysis.experiment import ComparisonAggregate
 from repro.core.reduction import ReducedDemand
 from repro.core.scheduler import CompositeScheduleEntry, CpSchedule
 from repro.hybrid.schedule import Schedule, ScheduleEntry
+from repro.utils.fileio import atomic_write_json
 
 _FORMAT_VERSION = 1
 
@@ -212,10 +213,10 @@ def comparison_to_dict(result: ComparisonAggregate) -> dict:
 
 
 def save_json(payload: dict, path: "str | Path") -> Path:
-    """Write a serialized object to a JSON file."""
-    path = Path(path)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    return path
+    """Write a serialized object to a JSON file (atomically: a crash mid-
+    write leaves either the old file or the complete new one, never a torn
+    mixture)."""
+    return atomic_write_json(payload, path)
 
 
 def load_json(path: "str | Path") -> dict:
@@ -228,5 +229,11 @@ def _check_payload(payload: dict, expected_type: str) -> None:
         raise ValueError(
             f"payload type {payload.get('type')!r} != expected {expected_type!r}"
         )
-    if payload.get("format") != _FORMAT_VERSION:
-        raise ValueError(f"unsupported format version {payload.get('format')!r}")
+    version = payload.get("format")
+    if version != _FORMAT_VERSION:
+        got = f"v{version}" if version is not None else "with no version field"
+        raise ValueError(
+            f"unsupported {expected_type} format {got} "
+            f"(expected v{_FORMAT_VERSION}); re-export it with this library "
+            "version or convert the file"
+        )

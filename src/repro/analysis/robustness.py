@@ -167,6 +167,94 @@ def robustness_trial(
     return h_result, cp_result
 
 
+# ---------------------------------------------------------------------- #
+# resumable-sweep building blocks (repro.runner)
+# ---------------------------------------------------------------------- #
+
+
+def _sweep_demand(ocs: str, radix: int, seed: int, trial: int) -> np.ndarray:
+    """Demand for trial ``trial`` of a robustness sweep (skewed workload,
+    same per-trial stream as the sequential sweeps use)."""
+    from repro.analysis.experiment import trial_rng
+    from repro.switch.params import ocs_params
+    from repro.workloads import SkewedWorkload
+
+    params = ocs_params(ocs, radix)
+    workload = SkewedWorkload.for_params(params)
+    return workload.generate(radix, trial_rng(seed, trial)).demand
+
+
+def robustness_demand(*, ocs: str, radix: int, seed: int = 2016, trial: int = 0, **_ignored) -> np.ndarray:
+    """Quarantine hook: the demand matrix a robustness sweep trial uses.
+
+    Extra kwargs (``error``, ``rate``, …) are accepted and ignored so the
+    same kwargs dict drives both the trial and its reproducer.
+    """
+    return _sweep_demand(ocs, radix, seed, trial)
+
+
+def error_trial(
+    *, ocs: str, radix: int, seed: int = 2016, trial: int = 0, error: float = 0.0
+) -> dict:
+    """One journaled estimation-error trial (JSON in, JSON out).
+
+    Applies ``error`` as noise, staleness and miss rate at once — the CLI's
+    estimation-error sweep — and reports both switches' completion times.
+    """
+    from repro.hybrid.solstice import SolsticeScheduler
+    from repro.switch.params import ocs_params
+
+    params = ocs_params(ocs, radix)
+    demand = _sweep_demand(ocs, radix, seed, trial)
+    h_result, cp_result = robustness_trial(
+        demand,
+        SolsticeScheduler(),
+        params,
+        np.random.default_rng(seed + trial),
+        noise=error,
+        staleness=error,
+        miss_rate=error,
+    )
+    return {
+        "trial": trial,
+        "error": float(error),
+        "h": h_result.completion_time,
+        "cp": cp_result.completion_time,
+    }
+
+
+def fault_rate_trial(
+    *,
+    ocs: str,
+    radix: int,
+    seed: int = 2016,
+    trial: int = 0,
+    rate: float = 0.0,
+    rate_index: int = 0,
+) -> dict:
+    """One journaled hardware-fault trial (JSON in, JSON out).
+
+    Executes both switches' schedules under a uniform fault plan at
+    ``rate``; the plan seed matches
+    :func:`repro.analysis.figures.degradation_curve` exactly, so journaled
+    and sequential sweeps agree bit-for-bit.
+    """
+    from repro.hybrid.solstice import SolsticeScheduler
+    from repro.switch.params import ocs_params
+
+    params = ocs_params(ocs, radix)
+    demand = _sweep_demand(ocs, radix, seed, trial)
+    plan = FaultPlan.uniform(rate, seed=seed + 7919 * rate_index + trial)
+    h_result, cp_result = fault_trial(demand, SolsticeScheduler(), params, plan)
+    return {
+        "trial": trial,
+        "rate": float(rate),
+        "h": h_result.completion_time,
+        "cp": cp_result.completion_time,
+        "released": cp_result.released_composite,
+    }
+
+
 def fault_trial(
     true_demand: np.ndarray,
     scheduler: HybridScheduler,

@@ -1,0 +1,254 @@
+"""Declarative sweep specs: every CLI sweep as journaled trial units.
+
+This module is the bridge between the experiment layer and the
+crash-tolerant runner (:mod:`repro.runner`): it decomposes each sweep the
+CLI offers — ``compare``, ``figure``, ``robustness`` — into a flat list of
+:class:`~repro.runner.isolation.TrialSpec` (one per ``(experiment, seed)``
+key, all-JSON kwargs, quarantine demand hook attached) and aggregates the
+journaled payloads back into the same objects the sequential code paths
+produce (:class:`~repro.analysis.experiment.ComparisonAggregate`,
+:class:`~repro.analysis.figures.FigurePoint`, degradation rows).
+
+Because each trial spec pins its own demand stream
+(:func:`repro.analysis.experiment.trial_rng`), execution order, subprocess
+isolation, retries and resume cannot change the numbers: a sweep
+interrupted at any trial and resumed aggregates bit-identically to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.analysis.experiment import ComparisonAggregate, comparison_from_payloads
+from repro.analysis.figures import FigurePoint
+from repro.runner.isolation import TrialSpec
+
+#: Figure name -> (workload, scheduler) per the paper's §3 pairing.
+FIGURE_PAIRINGS: "dict[str, tuple[str, str]]" = {
+    "fig5": ("skewed", "solstice"),
+    "fig6": ("skewed", "eclipse"),
+    "fig7": ("typical", "solstice"),
+    "fig8": ("typical", "eclipse"),
+    "fig9": ("intensive", "solstice"),
+    "fig10": ("intensive", "eclipse"),
+    "fig11": ("varying", "solstice"),
+}
+
+#: Figure 11's skew sweep (k skewed ports per direction).
+FIG11_SKEW_COUNTS: "tuple[int, ...]" = (1, 2, 3, 4, 5, 6)
+
+_COMPARISON_FN = "repro.analysis.experiment:comparison_trial"
+_COMPARISON_DEMAND_FN = "repro.analysis.experiment:comparison_demand"
+_ERROR_FN = "repro.analysis.robustness:error_trial"
+_FAULT_FN = "repro.analysis.robustness:fault_rate_trial"
+_ROBUSTNESS_DEMAND_FN = "repro.analysis.robustness:robustness_demand"
+
+
+def sweep_fingerprint(kind: str, args: dict) -> str:
+    """Short stable hash of a sweep's identity (kind + all arguments).
+
+    Two invocations with identical arguments share a fingerprint — and
+    therefore, via :func:`default_journal_path`, a journal — which is what
+    makes re-running the same command resume instead of recompute.
+    """
+    canonical = json.dumps({"kind": kind, "args": args}, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
+def default_run_dir() -> Path:
+    """Journal directory: ``$REPRO_RUN_DIR`` or ``./runs``."""
+    return Path(os.environ.get("REPRO_RUN_DIR", "runs"))
+
+
+def default_journal_path(kind: str, args: dict) -> Path:
+    """Auto-derived journal path for a sweep (same args -> same journal)."""
+    return default_run_dir() / f"{kind}-{sweep_fingerprint(kind, args)}.jsonl"
+
+
+# ---------------------------------------------------------------------- #
+# spec builders
+# ---------------------------------------------------------------------- #
+
+
+def compare_specs(
+    *,
+    workload: str,
+    ocs: str,
+    radix: int,
+    scheduler: str = "solstice",
+    trials: int = 3,
+    seed: int = 2016,
+    skewed_ports: int = 1,
+    window: "float | None" = None,
+) -> "list[TrialSpec]":
+    """One spec per trial of an h-vs-cp comparison point."""
+    experiment = f"compare-{workload}-{scheduler}-{ocs}-r{radix}"
+    return [
+        TrialSpec(
+            experiment=experiment,
+            key=f"{experiment}:{trial:04d}",
+            fn=_COMPARISON_FN,
+            kwargs={
+                "workload": workload,
+                "ocs": ocs,
+                "radix": radix,
+                "scheduler": scheduler,
+                "seed": seed,
+                "trial": trial,
+                "skewed_ports": skewed_ports,
+                "window": window,
+            },
+            demand_fn=_COMPARISON_DEMAND_FN,
+        )
+        for trial in range(trials)
+    ]
+
+
+def figure_specs(
+    name: str,
+    *,
+    ocs: str,
+    radices: "tuple[int, ...]",
+    trials: int,
+    seed: int = 2016,
+    skew_counts: "tuple[int, ...]" = FIG11_SKEW_COUNTS,
+) -> "list[TrialSpec]":
+    """Specs of one of the paper's figure sweeps (trial granularity)."""
+    if name not in FIGURE_PAIRINGS:
+        raise ValueError(f"unknown figure {name!r}; expected one of {sorted(FIGURE_PAIRINGS)}")
+    workload, scheduler = FIGURE_PAIRINGS[name]
+    specs: "list[TrialSpec]" = []
+    for radix in radices:
+        counts = skew_counts if name == "fig11" else (1,)
+        for k in counts:
+            experiment = f"{name}-r{radix}" + (f"-k{k}" if name == "fig11" else "")
+            for trial in range(trials):
+                specs.append(
+                    TrialSpec(
+                        experiment=experiment,
+                        key=f"{experiment}:{trial:04d}",
+                        fn=_COMPARISON_FN,
+                        kwargs={
+                            "workload": workload,
+                            "ocs": ocs,
+                            "radix": radix,
+                            "scheduler": scheduler,
+                            "seed": seed,
+                            "trial": trial,
+                            "skewed_ports": k,
+                            "window": None,
+                        },
+                        demand_fn=_COMPARISON_DEMAND_FN,
+                    )
+                )
+    return specs
+
+
+def robustness_specs(
+    *,
+    ocs: str,
+    radix: int,
+    trials: int,
+    seed: int = 2016,
+    fault_rates: "tuple[float, ...]" = (),
+    error_rates: "tuple[float, ...]" = (),
+) -> "list[TrialSpec]":
+    """Specs of the robustness command's two sweeps (fault + error)."""
+    specs: "list[TrialSpec]" = []
+    for rate_index, rate in enumerate(fault_rates):
+        experiment = f"fault-{ocs}-r{radix}@{rate:g}"
+        for trial in range(trials):
+            specs.append(
+                TrialSpec(
+                    experiment=experiment,
+                    key=f"{experiment}:{trial:04d}",
+                    fn=_FAULT_FN,
+                    kwargs={
+                        "ocs": ocs,
+                        "radix": radix,
+                        "seed": seed,
+                        "trial": trial,
+                        "rate": float(rate),
+                        "rate_index": rate_index,
+                    },
+                    demand_fn=_ROBUSTNESS_DEMAND_FN,
+                )
+            )
+    for error in error_rates:
+        experiment = f"error-{ocs}-r{radix}@{error:g}"
+        for trial in range(trials):
+            specs.append(
+                TrialSpec(
+                    experiment=experiment,
+                    key=f"{experiment}:{trial:04d}",
+                    fn=_ERROR_FN,
+                    kwargs={
+                        "ocs": ocs,
+                        "radix": radix,
+                        "seed": seed,
+                        "trial": trial,
+                        "error": float(error),
+                    },
+                    demand_fn=_ROBUSTNESS_DEMAND_FN,
+                )
+            )
+    return specs
+
+
+# ---------------------------------------------------------------------- #
+# aggregation of journaled payloads
+# ---------------------------------------------------------------------- #
+
+
+def group_payloads(
+    specs: "list[TrialSpec]", completed: "dict[str, dict]"
+) -> "dict[str, list[dict]]":
+    """Successful payloads grouped by experiment, in spec order.
+
+    Experiments whose every trial failed map to an empty list, so callers
+    can report the hole instead of silently dropping the point.
+    """
+    groups: "dict[str, list[dict]]" = {}
+    for spec in specs:
+        bucket = groups.setdefault(spec.experiment, [])
+        if spec.key in completed:
+            bucket.append(completed[spec.key])
+    return groups
+
+
+def comparison_points(
+    specs: "list[TrialSpec]", completed: "dict[str, dict]"
+) -> "list[tuple[str, FigurePoint | None]]":
+    """(experiment, aggregated point) per experiment; ``None`` if all trials
+    of that experiment failed."""
+    points: "list[tuple[str, FigurePoint | None]]" = []
+    for experiment, payloads in group_payloads(specs, completed).items():
+        if not payloads:
+            points.append((experiment, None))
+            continue
+        spec = next(s for s in specs if s.experiment == experiment)
+        skewed = spec.kwargs.get("skewed_ports")
+        result = comparison_from_payloads(payloads)
+        points.append(
+            (
+                experiment,
+                FigurePoint(
+                    n_ports=result.n_ports,
+                    result=result,
+                    skewed_ports=skewed if "-k" in experiment else None,
+                ),
+            )
+        )
+    return points
+
+
+def single_comparison(
+    specs: "list[TrialSpec]", completed: "dict[str, dict]"
+) -> ComparisonAggregate:
+    """Aggregate a one-experiment sweep (the ``compare`` command)."""
+    payloads = [completed[s.key] for s in specs if s.key in completed]
+    return comparison_from_payloads(payloads)

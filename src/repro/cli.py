@@ -12,7 +12,23 @@ Gives the library a no-code surface for the common workflows:
 * ``robustness`` — degradation under imperfection: a hardware fault sweep
   (h vs cp completion versus injected fault rate, with the volume failed
   over from dead composite paths) followed by a demand-estimation-error
-  sweep (noise / staleness / missed entries).
+  sweep (noise / staleness / missed entries);
+* ``sweep``    — the same sweeps under explicit journal control, plus
+  ``sweep --resume <journal>`` to finish an interrupted run.
+
+Resilient execution
+-------------------
+Every sweep command (``compare`` / ``figure`` / ``robustness``) runs
+through the crash-tolerant runner (:mod:`repro.runner`) by default: trial
+results are checkpointed to an atomic JSONL journal (auto-derived from the
+sweep's arguments under ``--run-dir`` / ``$REPRO_RUN_DIR``, default
+``runs/``), each trial executes in a subprocess worker with optional
+``--timeout`` and bounded ``--retries`` with exponential backoff, and a
+trial that exhausts its retries is quarantined as a reproducible ``.npz``
+instead of aborting the sweep.  Re-running the same command — or
+``python -m repro sweep --resume <journal>`` — skips completed trials and
+finishes only the remainder, aggregating bit-identically to an
+uninterrupted run.
 
 Examples
 --------
@@ -25,6 +41,8 @@ Examples
     python -m repro schedule demand.npy --switch cp --scheduler eclipse
     python -m repro robustness --radix 32 --trials 2 \
         --fault-rates 0,0.1,0.3 --error-rates 0,0.1,0.3
+    python -m repro sweep compare --radix 32 --trials 20 --journal run.jsonl
+    python -m repro sweep --resume run.jsonl
 """
 
 from __future__ import annotations
@@ -35,47 +53,140 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.analysis.experiment import ExperimentConfig, run_comparison
+from repro.analysis.experiment import make_workload
 from repro.analysis.report import format_table
+from repro.analysis.sweeps import (
+    compare_specs,
+    comparison_points,
+    default_run_dir,
+    figure_specs,
+    group_payloads,
+    robustness_specs,
+    single_comparison,
+    sweep_fingerprint,
+)
 from repro.core.scheduler import CpSwitchScheduler
 from repro.hybrid.base import make_scheduler
-from repro.sim import simulate_cp, simulate_hybrid
-from repro.switch.params import SwitchParams, fast_ocs_params, slow_ocs_params
-from repro.workloads import (
-    CombinedWorkload,
-    SkewedWorkload,
-    TypicalBackgroundWorkload,
-    VaryingSkewWorkload,
+from repro.runner import (
+    RetryPolicy,
+    RunJournal,
+    SweepConfig,
+    SweepResult,
+    SweepRunner,
+    specs_from_journal,
 )
+from repro.sim import simulate_cp, simulate_hybrid
+from repro.switch.params import SwitchParams, ocs_params
+from repro.utils.validation import check_demand_matrix
 
 WORKLOADS = ("skewed", "background", "typical", "intensive", "varying")
 
 
 def _params(args) -> SwitchParams:
-    factory = fast_ocs_params if args.ocs == "fast" else slow_ocs_params
-    return factory(args.radix)
+    return ocs_params(args.ocs, args.radix)
 
 
 def _workload(name: str, params: SwitchParams, skewed_ports: int):
-    if name == "skewed":
-        return SkewedWorkload.for_params(params)
-    if name == "background":
-        return TypicalBackgroundWorkload.for_params(params)
-    if name == "typical":
-        return CombinedWorkload.typical(params)
-    if name == "intensive":
-        return CombinedWorkload.intensive(params)
-    if name == "varying":
-        return VaryingSkewWorkload.for_params(params, n_skewed_ports=skewed_ports)
-    raise ValueError(f"unknown workload {name!r}")
+    return make_workload(name, params, skewed_ports)
 
 
 def _load_demand(path: Path) -> np.ndarray:
     if path.suffix == ".npy":
-        return np.load(path)
-    if path.suffix == ".csv":
-        return np.loadtxt(path, delimiter=",")
-    raise SystemExit(f"unsupported demand file type: {path} (use .npy or .csv)")
+        try:
+            demand = np.load(path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read demand file {path}: {exc}") from None
+    elif path.suffix == ".csv":
+        try:
+            demand = np.loadtxt(path, delimiter=",")
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read demand file {path}: {exc}") from None
+    else:
+        raise SystemExit(f"unsupported demand file type: {path} (use .npy or .csv)")
+    try:
+        # Rejects NaN/Inf, negative entries and non-square shapes up front,
+        # with one actionable line instead of a traceback from deep inside
+        # the scheduler.
+        return check_demand_matrix(np.atleast_2d(np.asarray(demand, dtype=np.float64)))
+    except ValueError as exc:
+        raise SystemExit(
+            f"invalid demand file {path}: {exc} — fix the file or regenerate "
+            "it with `python -m repro workload`"
+        ) from None
+
+
+# ---------------------------------------------------------------------- #
+# runner plumbing
+# ---------------------------------------------------------------------- #
+
+
+def _journal_for(args, kind: str, sweep_args: dict) -> RunJournal:
+    """The journal this sweep checkpoints to (resumable-by-default).
+
+    ``--journal`` pins an explicit path; otherwise the path is derived from
+    the sweep's arguments so re-running the identical command resumes its
+    own journal.  ``--no-journal`` opts out (in-memory, not resumable);
+    ``--fresh`` discards an existing journal first.
+    """
+    if getattr(args, "no_journal", False):
+        return RunJournal()
+    if getattr(args, "journal", None):
+        path = Path(args.journal)
+    else:
+        run_dir = Path(args.run_dir) if getattr(args, "run_dir", None) else default_run_dir()
+        path = run_dir / f"{kind}-{sweep_fingerprint(kind, sweep_args)}.jsonl"
+    if getattr(args, "fresh", False) and path.exists():
+        path.unlink()
+    return RunJournal(path)
+
+
+def _sweep_config(args) -> SweepConfig:
+    retries = getattr(args, "retries", 2)
+    if retries < 0:
+        raise SystemExit(f"--retries must be >= 0, got {retries}")
+    return SweepConfig(
+        timeout_s=getattr(args, "timeout", None),
+        retry=RetryPolicy(
+            max_attempts=retries + 1,
+            base_delay=getattr(args, "retry_base_delay", 0.1),
+        ),
+        isolation=getattr(args, "isolation", "subprocess"),
+    )
+
+
+def _run_sweep(args, kind: str, sweep_args: dict, specs) -> "tuple[SweepResult, RunJournal]":
+    journal = _journal_for(args, kind, sweep_args)
+    runner = SweepRunner(journal, _sweep_config(args))
+    already = journal.completed_keys() & {spec.key for spec in specs}
+    if already:
+        print(
+            f"resuming from {journal.path}: {len(already)}/{len(specs)} trials "
+            "already journaled",
+            file=sys.stderr,
+        )
+    result = runner.run(
+        specs,
+        sweep_name=f"{kind}-{sweep_fingerprint(kind, sweep_args)}",
+        meta={"kind": kind, "args": sweep_args},
+    )
+    _report_failures(result, journal)
+    return result, journal
+
+
+def _report_failures(result: SweepResult, journal: RunJournal) -> None:
+    if not result.failures:
+        return
+    print(
+        f"warning: {len(result.failures)} trial(s) failed after retries "
+        "(sweep continued over the survivors):",
+        file=sys.stderr,
+    )
+    for failure in result.failures:
+        where = f" [repro: {failure.quarantine_path}]" if failure.quarantine_path else ""
+        print(
+            f"  {failure.key}: {failure.error_type}: {failure.error_message}{where}",
+            file=sys.stderr,
+        )
 
 
 # ---------------------------------------------------------------------- #
@@ -83,16 +194,8 @@ def _load_demand(path: Path) -> np.ndarray:
 # ---------------------------------------------------------------------- #
 
 
-def cmd_compare(args) -> int:
-    params = _params(args)
-    config = ExperimentConfig(
-        workload=_workload(args.workload, params, args.skewed_ports),
-        params=params,
-        scheduler=args.scheduler,
-        n_trials=args.trials,
-        seed=args.seed,
-    )
-    result = run_comparison(config)
+def _print_compare(sweep_args: dict, specs, completed: dict) -> None:
+    result = single_comparison(specs, completed)
     rows = [
         ["completion total (ms)", result.h_completion_total.mean, result.cp_completion_total.mean],
         ["completion o2m (ms)", result.h_completion_o2m.mean, result.cp_completion_o2m.mean],
@@ -102,30 +205,40 @@ def cmd_compare(args) -> int:
         ["scheduler time (ms)", result.h_sched_seconds.mean * 1e3, result.cp_sched_seconds.mean * 1e3],
     ]
     title = (
-        f"{args.workload} workload, radix {args.radix}, {args.ocs} OCS, "
-        f"{args.scheduler}, {result.n_trials} trials"
+        f"{sweep_args['workload']} workload, radix {sweep_args['radix']}, "
+        f"{sweep_args['ocs']} OCS, {sweep_args['scheduler']}, "
+        f"{result.n_trials} trials"
     )
     print(format_table(["metric", "h-Switch", "cp-Switch"], rows, title=title))
+
+
+def cmd_compare(args) -> int:
+    sweep_args = {
+        "workload": args.workload,
+        "ocs": args.ocs,
+        "radix": args.radix,
+        "scheduler": args.scheduler,
+        "trials": args.trials,
+        "seed": args.seed,
+        "skewed_ports": args.skewed_ports,
+    }
+    specs = compare_specs(**sweep_args)
+    result, _journal = _run_sweep(args, "compare", sweep_args, specs)
+    if not result.completed:
+        print("error: every trial failed; nothing to aggregate", file=sys.stderr)
+        return 1
+    _print_compare(sweep_args, specs, result.completed)
     return 0
 
 
-def cmd_figure(args) -> int:
-    from repro.analysis import figures
-
-    generator = {
-        "fig5": figures.figure5,
-        "fig6": figures.figure6,
-        "fig7": figures.figure7,
-        "fig8": figures.figure8,
-        "fig9": figures.figure9,
-        "fig10": figures.figure10,
-        "fig11": figures.figure11,
-    }[args.name]
-    radices = tuple(int(part) for part in args.radices.split(","))
-    points = generator(args.ocs, radices=radices, n_trials=args.trials, seed=args.seed)
-    utilization = args.name in ("fig6", "fig8", "fig10")
+def _print_figure(sweep_args: dict, specs, completed: dict) -> None:
+    name = sweep_args["name"]
+    utilization = name in ("fig6", "fig8", "fig10")
     rows = []
-    for point in points:
+    for experiment, point in comparison_points(specs, completed):
+        if point is None:
+            print(f"warning: {experiment}: all trials failed; point omitted", file=sys.stderr)
+            continue
         res = point.result
         prefix = [point.n_ports] + ([point.skewed_ports] if point.skewed_ports is not None else [])
         if utilization:
@@ -134,16 +247,37 @@ def cmd_figure(args) -> int:
         else:
             rows.append(prefix + [res.h_completion_total.mean, res.cp_completion_total.mean,
                                   res.h_configs.mean, res.cp_configs.mean])
-    headers = ["radix"] + (["k"] if args.name == "fig11" else [])
+    headers = ["radix"] + (["k"] if name == "fig11" else [])
     headers += (
         ["h OCS fraction", "cp OCS fraction"] if utilization else ["h total (ms)", "cp total (ms)"]
     )
     headers += ["h configs", "cp configs"]
     print(
         format_table(
-            headers, rows, title=f"{args.name} ({args.ocs} OCS, {args.trials} trials)"
+            headers,
+            rows,
+            title=f"{name} ({sweep_args['ocs']} OCS, {sweep_args['trials']} trials)",
         )
     )
+
+
+def cmd_figure(args) -> int:
+    radices = tuple(int(part) for part in args.radices.split(","))
+    sweep_args = {
+        "name": args.name,
+        "ocs": args.ocs,
+        "radices": list(radices),
+        "trials": args.trials,
+        "seed": args.seed,
+    }
+    specs = figure_specs(
+        args.name, ocs=args.ocs, radices=radices, trials=args.trials, seed=args.seed
+    )
+    result, _journal = _run_sweep(args, "figure", sweep_args, specs)
+    if not result.completed:
+        print("error: every trial failed; nothing to aggregate", file=sys.stderr)
+        return 1
+    _print_figure(sweep_args, specs, result.completed)
     return 0
 
 
@@ -167,7 +301,7 @@ def cmd_workload(args) -> int:
 
 def cmd_schedule(args) -> int:
     demand = _load_demand(Path(args.demand))
-    params = _params(argparse.Namespace(ocs=args.ocs, radix=demand.shape[0]))
+    params = ocs_params(args.ocs, demand.shape[0])
     inner = make_scheduler(args.scheduler)
     if args.switch == "h":
         schedule = inner.schedule(demand, params)
@@ -189,6 +323,8 @@ def cmd_schedule(args) -> int:
                 grants.append(f"m2o@{entry.m2o_port}")
             configs.append((circuits + grants, entry.duration))
 
+    for diag in getattr(inner, "last_diagnostics", []):
+        print(f"scheduler watchdog: {diag.event}: {diag.detail}", file=sys.stderr)
     print(f"{args.switch}-Switch / {args.scheduler} on {demand.shape[0]} ports:")
     for index, (circuits, duration) in enumerate(configs):
         print(f"  config {index}: {duration:.4f} ms, {circuits}")
@@ -199,71 +335,49 @@ def cmd_schedule(args) -> int:
     return 0
 
 
-def cmd_robustness(args) -> int:
-    from repro.analysis.figures import degradation_curve
-    from repro.analysis.robustness import robustness_trial
-    from repro.hybrid.solstice import SolsticeScheduler
-    from repro.utils.rng import spawn_rngs
-    from repro.workloads import SkewedWorkload
-
-    params = _params(args)
-    fault_rates = tuple(float(part) for part in args.fault_rates.split(","))
-    error_rates = tuple(float(part) for part in args.error_rates.split(","))
-
-    points = degradation_curve(
-        args.ocs,
-        radix=args.radix,
-        fault_rates=fault_rates,
-        n_trials=args.trials,
-        seed=args.seed,
-    )
-    fault_rows = [
-        [
-            point.fault_rate,
-            point.h_completion,
-            point.cp_completion,
-            point.cp_advantage,
-            point.released_composite,
-        ]
-        for point in points
-    ]
+def _print_robustness(sweep_args: dict, specs, completed: dict) -> None:
+    groups = group_payloads(specs, completed)
+    fault_rows = []
+    error_rows = []
+    for experiment, payloads in groups.items():
+        if not payloads:
+            print(f"warning: {experiment}: all trials failed; point omitted", file=sys.stderr)
+            continue
+        if experiment.startswith("fault-"):
+            h_mean = float(np.mean([p["h"] for p in payloads]))
+            cp_mean = float(np.mean([p["cp"] for p in payloads]))
+            fault_rows.append(
+                [
+                    payloads[0]["rate"],
+                    h_mean,
+                    cp_mean,
+                    h_mean / cp_mean if cp_mean else float("inf"),
+                    float(np.mean([p["released"] for p in payloads])),
+                ]
+            )
+        else:
+            h_mean = float(np.mean([p["h"] for p in payloads]))
+            cp_mean = float(np.mean([p["cp"] for p in payloads]))
+            error_rows.append(
+                [
+                    payloads[0]["error"],
+                    h_mean,
+                    cp_mean,
+                    h_mean / cp_mean if cp_mean else float("inf"),
+                ]
+            )
+    radix = sweep_args["radix"]
+    ocs = sweep_args["ocs"]
     print(
         format_table(
             ["fault rate", "h total (ms)", "cp total (ms)", "h/cp", "released (Mb)"],
             fault_rows,
             title=(
-                f"hardware fault sweep — skewed workload, radix {args.radix}, "
-                f"{args.ocs} OCS, solstice, {args.trials} trials"
+                f"hardware fault sweep — skewed workload, radix {radix}, "
+                f"{ocs} OCS, solstice, {sweep_args['trials']} trials"
             ),
         )
     )
-
-    workload = SkewedWorkload.for_params(params)
-    scheduler = SolsticeScheduler()
-    demands = [
-        workload.generate(args.radix, rng).demand
-        for rng in spawn_rngs(args.seed, args.trials)
-    ]
-    error_rows = []
-    for error in error_rates:
-        h_times, cp_times = [], []
-        for trial, demand in enumerate(demands):
-            h_result, cp_result = robustness_trial(
-                demand,
-                scheduler,
-                params,
-                np.random.default_rng(args.seed + trial),
-                noise=error,
-                staleness=error,
-                miss_rate=error,
-            )
-            h_times.append(h_result.completion_time)
-            cp_times.append(cp_result.completion_time)
-        h_mean = float(np.mean(h_times))
-        cp_mean = float(np.mean(cp_times))
-        error_rows.append(
-            [error, h_mean, cp_mean, h_mean / cp_mean if cp_mean else float("inf")]
-        )
     print()
     print(
         format_table(
@@ -271,16 +385,186 @@ def cmd_robustness(args) -> int:
             error_rows,
             title=(
                 "estimation-error sweep (noise = staleness = miss rate) — "
-                f"radix {args.radix}, {args.ocs} OCS"
+                f"radix {radix}, {ocs} OCS"
             ),
         )
     )
+
+
+def cmd_robustness(args) -> int:
+    fault_rates = tuple(float(part) for part in args.fault_rates.split(","))
+    error_rates = tuple(float(part) for part in args.error_rates.split(","))
+    # Fail fast on bad sweep axes instead of journaling one doomed trial
+    # per point.
+    for rate in fault_rates:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+    for error in error_rates:
+        if not 0.0 <= error <= 1.0:
+            raise ValueError(f"error rate must be in [0, 1], got {error}")
+    sweep_args = {
+        "ocs": args.ocs,
+        "radix": args.radix,
+        "trials": args.trials,
+        "seed": args.seed,
+        "fault_rates": list(fault_rates),
+        "error_rates": list(error_rates),
+    }
+    specs = robustness_specs(
+        ocs=args.ocs,
+        radix=args.radix,
+        trials=args.trials,
+        seed=args.seed,
+        fault_rates=fault_rates,
+        error_rates=error_rates,
+    )
+    result, _journal = _run_sweep(args, "robustness", sweep_args, specs)
+    if not result.completed:
+        print("error: every trial failed; nothing to aggregate", file=sys.stderr)
+        return 1
+    _print_robustness(sweep_args, specs, result.completed)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """``sweep --resume <journal>``: finish an interrupted sweep."""
+    if not getattr(args, "resume", None):
+        raise SystemExit(
+            "sweep: give a sub-command (compare / figure / robustness) "
+            "or --resume <journal>"
+        )
+    path = Path(args.resume)
+    if not path.exists():
+        raise SystemExit(f"sweep --resume: journal {path} does not exist")
+    journal = RunJournal(path)
+    specs = specs_from_journal(journal)
+    header = journal.header
+    meta = header.get("meta", {}) if header else {}
+    done_before = len(journal.completed_keys())
+    runner = SweepRunner(journal, _sweep_config(args))
+    result = runner.run(specs, sweep_name=header["sweep"], meta=meta)
+    _report_failures(result, journal)
+    print(
+        f"resumed {path}: {done_before} trials restored, "
+        f"{len(result.executed)} executed now, {result.n_failed} failed total",
+        file=sys.stderr,
+    )
+    if not result.completed:
+        print("error: every trial failed; nothing to aggregate", file=sys.stderr)
+        return 1
+    kind = meta.get("kind")
+    sweep_args = meta.get("args", {})
+    if kind == "compare":
+        _print_compare(sweep_args, specs, result.completed)
+    elif kind == "figure":
+        _print_figure(sweep_args, specs, result.completed)
+    elif kind == "robustness":
+        _print_robustness(sweep_args, specs, result.completed)
+    else:
+        print(f"{len(result.completed)}/{len(specs)} trials complete")
     return 0
 
 
 # ---------------------------------------------------------------------- #
 # parser
 # ---------------------------------------------------------------------- #
+
+
+def _add_runner_args(p) -> None:
+    group = p.add_argument_group("resilient execution")
+    group.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="run-journal path (default: derived from the sweep's arguments "
+        "under --run-dir, so re-running the same command resumes)",
+    )
+    group.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        help="directory for auto-derived journals (default: $REPRO_RUN_DIR or ./runs)",
+    )
+    group.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="keep the journal in memory only (not resumable)",
+    )
+    group.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard an existing journal and start the sweep over",
+    )
+    group.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget per trial attempt (default: none)",
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry attempts per trial after the first, with exponential "
+        "backoff + jitter (default: 2)",
+    )
+    group.add_argument(
+        "--retry-base-delay",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="first backoff sleep (default: 0.1)",
+    )
+    group.add_argument(
+        "--isolation",
+        choices=("subprocess", "inline"),
+        default="subprocess",
+        help="run trials in subprocess workers (hang/crash-proof, default) "
+        "or inline (debuggable)",
+    )
+
+
+def _add_compare_args(p) -> None:
+    p.add_argument("--ocs", choices=("fast", "slow"), default="fast")
+    p.add_argument("--radix", type=int, default=32)
+    p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--workload", choices=WORKLOADS, default="skewed")
+    p.add_argument("--scheduler", choices=("solstice", "eclipse", "tdm"), default="solstice")
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--skewed-ports", type=int, default=1)
+    _add_runner_args(p)
+    p.set_defaults(func=cmd_compare)
+
+
+def _add_figure_args(p) -> None:
+    p.add_argument(
+        "name",
+        choices=("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"),
+    )
+    p.add_argument("--ocs", choices=("fast", "slow"), default="fast")
+    p.add_argument("--radices", default="32,64,128", help="comma-separated radix sweep")
+    p.add_argument("--trials", type=int, default=2)
+    p.add_argument("--seed", type=int, default=2016)
+    _add_runner_args(p)
+    p.set_defaults(func=cmd_figure)
+
+
+def _add_robustness_args(p) -> None:
+    p.add_argument("--ocs", choices=("fast", "slow"), default="fast")
+    p.add_argument("--radix", type=int, default=32)
+    p.add_argument("--seed", type=int, default=2016)
+    p.add_argument("--trials", type=int, default=2)
+    p.add_argument(
+        "--fault-rates",
+        default="0,0.05,0.1,0.2,0.4",
+        help="comma-separated uniform fault rates to sweep",
+    )
+    p.add_argument(
+        "--error-rates",
+        default="0,0.1,0.3",
+        help="comma-separated estimation-error levels (applied as noise, staleness and miss rate)",
+    )
+    _add_runner_args(p)
+    p.set_defaults(func=cmd_robustness)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -296,23 +580,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=2016)
 
     compare = sub.add_parser("compare", help="h-Switch vs cp-Switch on a paper workload")
-    common(compare)
-    compare.add_argument("--workload", choices=WORKLOADS, default="skewed")
-    compare.add_argument("--scheduler", choices=("solstice", "eclipse", "tdm"), default="solstice")
-    compare.add_argument("--trials", type=int, default=3)
-    compare.add_argument("--skewed-ports", type=int, default=1)
-    compare.set_defaults(func=cmd_compare)
+    _add_compare_args(compare)
 
     figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
-    figure.add_argument(
-        "name",
-        choices=("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"),
-    )
-    figure.add_argument("--ocs", choices=("fast", "slow"), default="fast")
-    figure.add_argument("--radices", default="32,64,128", help="comma-separated radix sweep")
-    figure.add_argument("--trials", type=int, default=2)
-    figure.add_argument("--seed", type=int, default=2016)
-    figure.set_defaults(func=cmd_figure)
+    _add_figure_args(figure)
 
     workload = sub.add_parser("workload", help="sample a demand matrix to a file")
     common(workload)
@@ -325,19 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
         "robustness",
         help="fault-injection + estimation-error degradation sweeps (h vs cp)",
     )
-    common(robustness)
-    robustness.add_argument("--trials", type=int, default=2)
-    robustness.add_argument(
-        "--fault-rates",
-        default="0,0.05,0.1,0.2,0.4",
-        help="comma-separated uniform fault rates to sweep",
-    )
-    robustness.add_argument(
-        "--error-rates",
-        default="0,0.1,0.3",
-        help="comma-separated estimation-error levels (applied as noise, staleness and miss rate)",
-    )
-    robustness.set_defaults(func=cmd_robustness)
+    _add_robustness_args(robustness)
 
     schedule = sub.add_parser("schedule", help="schedule a demand matrix from a file")
     schedule.add_argument("demand", help="demand matrix file (.npy or .csv)")
@@ -345,6 +604,24 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--switch", choices=("h", "cp"), default="cp")
     schedule.add_argument("--scheduler", choices=("solstice", "eclipse", "tdm"), default="solstice")
     schedule.set_defaults(func=cmd_schedule)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="journaled resumable sweeps; `sweep --resume <journal>` finishes "
+        "an interrupted run",
+    )
+    sweep.add_argument("--resume", metavar="JOURNAL", help="journal of the sweep to finish")
+    sweep.add_argument(
+        "--timeout", type=float, metavar="SECONDS", help="wall-clock budget per trial attempt"
+    )
+    sweep.add_argument("--retries", type=int, default=2, metavar="N")
+    sweep.add_argument("--retry-base-delay", type=float, default=0.1, metavar="SECONDS")
+    sweep.add_argument("--isolation", choices=("subprocess", "inline"), default="subprocess")
+    sweep.set_defaults(func=cmd_sweep)
+    sweep_sub = sweep.add_subparsers(dest="sweep_command")
+    _add_compare_args(sweep_sub.add_parser("compare", help="journaled compare sweep"))
+    _add_figure_args(sweep_sub.add_parser("figure", help="journaled figure sweep"))
+    _add_robustness_args(sweep_sub.add_parser("robustness", help="journaled robustness sweep"))
     return parser
 
 

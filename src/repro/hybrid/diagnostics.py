@@ -1,0 +1,65 @@
+"""Scheduler watchdog diagnostics.
+
+Solstice and Eclipse are iterative schedulers; on adversarial demand
+matrices their inner loops can fail to converge (QuickStuff's float repair
+falls short, a slice's perfect matching stops existing, Eclipse's duration
+search takes astronomically many tiny steps).  In a production sweep none
+of those may crash or hang the run: the watchdogs in the scheduler loops
+detect the condition, degrade gracefully to a valid (if suboptimal)
+schedule — leftover demand always drains over the packet switch — and
+record what happened as a :class:`SchedulerDiagnostics` entry on the
+scheduler's ``last_diagnostics`` list.
+
+Events currently emitted:
+
+* ``stuffing-imbalance`` — QuickStuff could not equalize row/column sums
+  within tolerance even after bounded repair rounds (the stuffed matrix is
+  still element-wise ≥ the demand, so every real byte is accounted for);
+* ``slice-infeasible`` — BigSlice found no perfect matching (the stuffed
+  matrix lost the equal-sum invariant); Solstice stops extracting circuits
+  and leaves the remainder to the EPS;
+* ``config-cap`` — Solstice hit its configuration cap with demand still
+  uncovered;
+* ``slice-stall`` — a slice stopped advancing the schedule (zero-duration
+  or no-progress step);
+* ``step-cap`` — Eclipse hit its greedy-step cap before exhausting the
+  window;
+* ``clock-stall`` — Eclipse's window clock stopped advancing measurably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class SchedulerDiagnostics:
+    """One watchdog observation from a scheduler run.
+
+    Attributes
+    ----------
+    scheduler:
+        Which component fired (``"solstice"``, ``"eclipse"``,
+        ``"quick_stuff"``).
+    event:
+        Machine-readable event name (see module docstring).
+    detail:
+        Human-readable one-liner.
+    iterations:
+        Loop iterations completed when the watchdog fired.
+    cap:
+        The iteration/configuration cap in force, if any.
+    residual:
+        Demand volume (Mb) left uncovered by circuits when the scheduler
+        degraded — this volume rides the packet switch instead.
+    """
+
+    scheduler: str
+    event: str
+    detail: str
+    iterations: int = 0
+    cap: "int | None" = None
+    residual: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)

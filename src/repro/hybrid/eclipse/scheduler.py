@@ -19,14 +19,27 @@ One greedy step here:
 
 The loop ends when the window cannot fit another reconfiguration plus a
 positive-duration configuration, or no residual demand remains.
+
+Watchdogs
+---------
+With a tiny reconfiguration penalty and a residual full of near-tolerance
+entries, the greedy can legally take astronomically many microscopic steps
+before the window fills — a hung trial from the sweep's point of view.  A
+step cap (``max_steps``, default ``8·n + 256`` — generous against the
+handful of steps any realistic window admits) and a clock-stall detector
+bound the loop; on either trigger the scheduler returns the schedule built
+so far (valid — the EPS serves the rest) and records a
+:class:`~repro.hybrid.diagnostics.SchedulerDiagnostics` entry on
+``last_diagnostics``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.hybrid.diagnostics import SchedulerDiagnostics
 from repro.hybrid.eclipse.durations import candidate_durations
 from repro.hybrid.schedule import Schedule, ScheduleEntry
 from repro.matching.max_weight import assignment_to_permutation, max_weight_matching
@@ -53,11 +66,23 @@ class EclipseScheduler:
         by OCS class: 1 ms when ``δ ≤ 1 ms`` (fast OCS), else 100 ms.
     grid_size:
         Number of candidate durations evaluated per greedy step.
+    max_steps:
+        Watchdog cap on greedy steps; ``None`` uses ``8·n + 256``.
+
+    Attributes
+    ----------
+    last_diagnostics:
+        Watchdog records from the most recent :meth:`schedule` call (empty
+        when the loop converged normally).
     """
 
     window: "float | None" = None
     grid_size: int = 16
+    max_steps: "int | None" = None
     name: str = "eclipse"
+    last_diagnostics: "list[SchedulerDiagnostics]" = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def resolved_window(self, params: SwitchParams) -> float:
         """The window actually used for ``params`` (resolving the default)."""
@@ -78,19 +103,65 @@ class EclipseScheduler:
 
         entries: list[ScheduleEntry] = []
         clock = 0.0
+        self.last_diagnostics = []
+        n = residual.shape[0]
+        step_cap = self.max_steps if self.max_steps is not None else 8 * n + 256
+        # Steps whose clock advance is below float resolution of the window
+        # would let the loop run ~forever without ever filling it.
+        min_advance = np.finfo(np.float64).eps * max(window, 1.0)
         while residual.max(initial=0.0) > VOLUME_TOL:
             available = window - clock - delta
             if available <= 0:
+                break
+            if len(entries) >= step_cap:
+                self._degrade(
+                    "step-cap",
+                    f"greedy step cap {step_cap} reached with "
+                    f"{window - clock:.3g} ms of window unused",
+                    len(entries),
+                    step_cap,
+                    residual,
+                )
                 break
             best = self._best_step(residual, ocs_rate, delta, available)
             if best is None:
                 break
             duration, permutation, served = best
+            if duration + delta <= min_advance:
+                self._degrade(
+                    "clock-stall",
+                    f"step advance {duration + delta:.3g} ms is below the "
+                    "window's float resolution",
+                    len(entries),
+                    step_cap,
+                    residual,
+                )
+                break
             residual -= served
             np.clip(residual, 0.0, None, out=residual)
             entries.append(ScheduleEntry(permutation=permutation, duration=duration))
             clock += duration + delta
         return Schedule(entries=tuple(entries), reconfig_delay=delta)
+
+    def _degrade(
+        self,
+        event: str,
+        detail: str,
+        iterations: int,
+        cap: int,
+        residual: np.ndarray,
+    ) -> None:
+        """Record one watchdog degradation on ``last_diagnostics``."""
+        self.last_diagnostics.append(
+            SchedulerDiagnostics(
+                scheduler=self.name,
+                event=event,
+                detail=detail,
+                iterations=iterations,
+                cap=cap,
+                residual=float(residual.sum()),
+            )
+        )
 
     def _best_step(
         self,

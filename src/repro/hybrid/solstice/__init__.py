@@ -3,6 +3,6 @@ scheduling via matrix stuffing and greedy threshold slicing."""
 
 from repro.hybrid.solstice.scheduler import SolsticeScheduler
 from repro.hybrid.solstice.slicing import big_slice
-from repro.hybrid.solstice.stuffing import quick_stuff
+from repro.hybrid.solstice.stuffing import quick_stuff, quick_stuff_diagnosed
 
-__all__ = ["SolsticeScheduler", "big_slice", "quick_stuff"]
+__all__ = ["SolsticeScheduler", "big_slice", "quick_stuff", "quick_stuff_diagnosed"]

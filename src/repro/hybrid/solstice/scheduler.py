@@ -23,17 +23,29 @@ leftover (EPS runs concurrently with the circuit schedule from time 0), and
 the makespan counts one δ per configuration.  A safety cap of ``n^2``
 configurations (the BvN bound) guarantees termination even for adversarial
 inputs.
+
+Watchdogs
+---------
+The loop never raises on non-convergence.  If the stuffed matrix loses the
+equal-sum invariant (so BigSlice finds no perfect matching), or a slice
+stops advancing the schedule, the loop stops extracting circuits and the
+remaining demand drains over the packet switch — a valid, merely
+suboptimal, schedule.  Each such degradation is recorded as a
+:class:`~repro.hybrid.diagnostics.SchedulerDiagnostics` entry on
+``last_diagnostics`` (reset at every :meth:`SolsticeScheduler.schedule`
+call) so sweeps can report it instead of crashing on it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.hybrid.diagnostics import SchedulerDiagnostics
 from repro.hybrid.schedule import Schedule, ScheduleEntry
 from repro.hybrid.solstice.slicing import big_slice
-from repro.hybrid.solstice.stuffing import quick_stuff
+from repro.hybrid.solstice.stuffing import quick_stuff_diagnosed
 from repro.switch.params import SwitchParams
 from repro.utils.validation import VOLUME_TOL, check_demand_matrix
 
@@ -51,11 +63,20 @@ class SolsticeScheduler:
         Skip (stop at) slices shorter than this many ms of circuit time;
         0 disables the floor.  The paper's model never needs it, but it is
         a useful guard for degenerate demands with many epsilon entries.
+
+    Attributes
+    ----------
+    last_diagnostics:
+        Watchdog records from the most recent :meth:`schedule` call (empty
+        when the loop converged normally).
     """
 
     max_configs: "int | None" = None
     min_slice_duration: float = 0.0
     name: str = "solstice"
+    last_diagnostics: "list[SchedulerDiagnostics]" = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def schedule(self, demand: np.ndarray, params: SwitchParams) -> Schedule:
         """Compute the Solstice OCS schedule for ``demand``.
@@ -73,7 +94,10 @@ class SolsticeScheduler:
         entries: list[ScheduleEntry] = []
         makespan = 0.0
         leftover = demand.copy()  # real demand not yet covered by circuits
-        stuffed = quick_stuff(demand)
+        self.last_diagnostics = []
+        stuffed, stuffing_diag = quick_stuff_diagnosed(demand)
+        if stuffing_diag is not None:
+            self.last_diagnostics.append(stuffing_diag)
 
         while len(entries) < cap:
             port_load = max(leftover.sum(axis=1).max(), leftover.sum(axis=0).max())
@@ -83,9 +107,30 @@ class SolsticeScheduler:
                 break  # EPS finishes the leftover within the schedule anyway
             if stuffed.max(initial=0.0) <= VOLUME_TOL:
                 break  # stuffed matrix fully decomposed
-            threshold, permutation = big_slice(stuffed)
+            try:
+                threshold, permutation = big_slice(stuffed)
+            except ValueError as exc:
+                # Equal-sum invariant broken (adversarial stuffing residue):
+                # stop extracting circuits; the EPS drains the leftover.
+                self._degrade(
+                    "slice-infeasible", str(exc), len(entries), cap, leftover
+                )
+                break
             duration = threshold / ocs_rate
             if self.min_slice_duration and duration < self.min_slice_duration:
+                break
+            if duration <= 0.0:
+                # A zero-thickness slice advances neither the makespan nor
+                # the leftover — without this guard the loop spins to the
+                # configuration cap doing nothing.
+                self._degrade(
+                    "slice-stall",
+                    f"slice threshold {threshold:.3g} Mb yields a zero-duration "
+                    "configuration",
+                    len(entries),
+                    cap,
+                    leftover,
+                )
                 break
             mask = permutation.astype(bool)
             stuffed[mask] = np.maximum(stuffed[mask] - threshold, 0.0)
@@ -94,5 +139,38 @@ class SolsticeScheduler:
             leftover[mask] = np.maximum(leftover[mask] - capacity, 0.0)
             entries.append(ScheduleEntry(permutation=permutation, duration=duration))
             makespan += duration + delta
+        else:
+            # Configuration cap hit with demand still uncovered — the EPS
+            # picks up the remainder; record that the cap bound the loop.
+            port_load = max(leftover.sum(axis=1).max(), leftover.sum(axis=0).max())
+            if port_load > VOLUME_TOL and port_load / eps_rate > makespan:
+                self._degrade(
+                    "config-cap",
+                    f"configuration cap {cap} reached with "
+                    f"{float(leftover.sum()):.3g} Mb not circuit-covered",
+                    len(entries),
+                    cap,
+                    leftover,
+                )
 
         return Schedule(entries=tuple(entries), reconfig_delay=delta)
+
+    def _degrade(
+        self,
+        event: str,
+        detail: str,
+        iterations: int,
+        cap: int,
+        leftover: np.ndarray,
+    ) -> None:
+        """Record one watchdog degradation on ``last_diagnostics``."""
+        self.last_diagnostics.append(
+            SchedulerDiagnostics(
+                scheduler=self.name,
+                event=event,
+                detail=detail,
+                iterations=iterations,
+                cap=cap,
+                residual=float(leftover.sum()),
+            )
+        )

@@ -1,0 +1,42 @@
+"""Crash-tolerant, resumable sweep execution.
+
+The runner layer makes the experiment harness production-grade: every
+trial result is checkpointed to an atomic JSONL journal, trials execute in
+subprocess workers with timeouts and bounded retry, failures are
+quarantined as reproducible ``.npz`` files instead of aborting the sweep,
+and an interrupted sweep resumes from its journal bit-identically.
+
+Entry points: :class:`SweepRunner` (library), ``python -m repro sweep``
+(CLI, including ``--resume <journal>``).
+"""
+
+from repro.runner.failures import TrialFailure, demand_fingerprint, quarantine_trial
+from repro.runner.isolation import (
+    TrialOutcome,
+    TrialSpec,
+    resolve_fn,
+    run_in_subprocess,
+    run_inline,
+)
+from repro.runner.journal import JOURNAL_FORMAT, JournalFormatError, RunJournal
+from repro.runner.retry import RetryPolicy
+from repro.runner.sweep import SweepConfig, SweepResult, SweepRunner, specs_from_journal
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "JournalFormatError",
+    "RetryPolicy",
+    "RunJournal",
+    "SweepConfig",
+    "SweepResult",
+    "SweepRunner",
+    "TrialFailure",
+    "TrialOutcome",
+    "TrialSpec",
+    "demand_fingerprint",
+    "quarantine_trial",
+    "resolve_fn",
+    "run_in_subprocess",
+    "run_inline",
+    "specs_from_journal",
+]

@@ -1,0 +1,101 @@
+"""Structured trial failures and the quarantine directory.
+
+A trial that exhausts its retries must leave enough behind to (a) keep the
+sweep's books honest and (b) let a human reproduce the failure offline:
+
+* a :class:`TrialFailure` record (exception type, message, traceback,
+  seed, demand fingerprint) appended to the run journal, and
+* a ``.npz`` file in the sweep's ``failed/`` directory holding the exact
+  demand matrix (regenerated from the spec's ``demand_fn``) plus the
+  trial's JSON kwargs — ``numpy.load`` it, feed the matrix back to the
+  scheduler, and the failure replays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.runner.isolation import TrialSpec, resolve_fn
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """Terminal failure of one trial (all attempts exhausted)."""
+
+    experiment: str
+    key: str
+    error_type: str
+    error_message: str
+    traceback: str
+    attempts: int
+    seed: "int | None" = None
+    demand_fingerprint: "str | None" = None
+    quarantine_path: "str | None" = None
+
+    def to_record(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_record(cls, record: dict) -> "TrialFailure":
+        return cls(**{k: record.get(k) for k in cls.__dataclass_fields__})
+
+
+def demand_fingerprint(demand: np.ndarray) -> str:
+    """Stable content hash of a demand matrix (shape + float64 bytes)."""
+    arr = np.ascontiguousarray(demand, dtype=np.float64)
+    digest = hashlib.sha256()
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def quarantine_trial(
+    spec: TrialSpec,
+    error: dict,
+    attempts: int,
+    failed_dir: "Path | None",
+) -> TrialFailure:
+    """Build the failure record and write the reproducible ``.npz``.
+
+    Regenerating the demand runs the spec's ``demand_fn`` inline and is
+    itself guarded: a demand generator broken enough to fail here must not
+    take the bookkeeping down with it.
+    """
+    demand = None
+    if spec.demand_fn is not None:
+        try:
+            demand = np.asarray(resolve_fn(spec.demand_fn)(**spec.kwargs))
+        except Exception:  # noqa: BLE001 — quarantine must never abort a sweep
+            demand = None
+
+    quarantine_path = None
+    if failed_dir is not None:
+        failed_dir = Path(failed_dir)
+        failed_dir.mkdir(parents=True, exist_ok=True)
+        safe_key = spec.key.replace("/", "_").replace(":", "_")
+        target = failed_dir / f"{safe_key}.npz"
+        arrays = {
+            "kwargs_json": np.array(json.dumps(spec.kwargs, sort_keys=True)),
+            "error_json": np.array(json.dumps(error, sort_keys=True)),
+        }
+        if demand is not None:
+            arrays["demand"] = demand
+        np.savez(target, **arrays)
+        quarantine_path = str(target)
+
+    return TrialFailure(
+        experiment=spec.experiment,
+        key=spec.key,
+        error_type=str(error.get("type")),
+        error_message=str(error.get("message")),
+        traceback=str(error.get("traceback", "")),
+        attempts=attempts,
+        seed=spec.kwargs.get("seed"),
+        demand_fingerprint=demand_fingerprint(demand) if demand is not None else None,
+        quarantine_path=quarantine_path,
+    )

@@ -1,0 +1,171 @@
+"""JSONL run journal — the checkpoint store behind resumable sweeps.
+
+One journal per sweep.  Line 0 is a *header* record carrying the sweep's
+identity and its full trial-spec list (so ``python -m repro sweep --resume
+<journal>`` can rebuild the remaining work from the journal alone); every
+subsequent line is one *trial* record (``status: "ok" | "failed"``) or an
+auxiliary record (``epoch`` reports from the controller, notes).
+
+Durability model
+----------------
+Every append rewrites the whole journal through the atomic tmp-file +
+``os.replace`` helper (:mod:`repro.utils.fileio`), so a reader — including
+a resumed run after a SIGKILL — sees either the journal before the append
+or after it, never a torn line.  Journals are small (one short JSON object
+per trial), so the rewrite is cheap at any realistic sweep size.  Loading
+is nevertheless tolerant of a trailing torn line, in case the file was
+produced by a foreign appender.
+
+Records carry a versioned envelope (``format``) so a future layout change
+fails loudly instead of mis-parsing old journals.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.utils.fileio import atomic_write_text
+
+#: Version of the journal record envelope.
+JOURNAL_FORMAT: int = 1
+
+
+class JournalFormatError(ValueError):
+    """A journal (or record) uses an unsupported envelope version."""
+
+
+def _check_format(record: dict, where: str) -> None:
+    version = record.get("format")
+    if version != JOURNAL_FORMAT:
+        raise JournalFormatError(
+            f"unsupported journal format v{version} in {where} "
+            f"(expected v{JOURNAL_FORMAT})"
+        )
+
+
+class RunJournal:
+    """Append-only checkpoint log of one sweep.
+
+    Parameters
+    ----------
+    path:
+        Journal file.  ``None`` keeps the journal purely in memory (useful
+        for tests and for one-shot runs that do not want a file).
+    """
+
+    def __init__(self, path: "str | Path | None" = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.records: "list[dict]" = []
+        self.torn_lines: int = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def _load(self) -> None:
+        text = self.path.read_text(encoding="utf-8")
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn line can only come from a non-atomic foreign
+                # writer dying mid-append; everything before it is intact.
+                self.torn_lines += 1
+                break
+            _check_format(record, str(self.path))
+            self.records.append(record)
+
+    def _flush(self) -> None:
+        if self.path is None:
+            return
+        text = "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in self.records
+        )
+        atomic_write_text(self.path, text)
+
+    def append(self, record: dict) -> dict:
+        """Append one record (envelope added) and atomically persist."""
+        record = {"format": JOURNAL_FORMAT, **record}
+        if "kind" not in record:
+            raise ValueError("journal records need a 'kind' field")
+        self.records.append(record)
+        self._flush()
+        return record
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def header(self) -> "dict | None":
+        """The sweep header record, if one was written."""
+        for record in self.records:
+            if record.get("kind") == "header":
+                return record
+        return None
+
+    def write_header(self, sweep: str, spec: "list[dict]", meta: "dict | None" = None) -> None:
+        """Write the header once; on resume, verify it matches.
+
+        ``spec`` is the JSON form of every trial spec in the sweep (see
+        :meth:`repro.runner.sweep.SweepRunner.run`); ``meta`` is free-form
+        presentation data the CLI uses to re-print results after a resume.
+        """
+        existing = self.header
+        if existing is not None:
+            if existing.get("sweep") != sweep:
+                raise ValueError(
+                    f"journal {self.path} belongs to sweep {existing.get('sweep')!r}, "
+                    f"not {sweep!r} — use a fresh journal file"
+                )
+            return
+        self.append(
+            {"kind": "header", "sweep": sweep, "spec": spec, "meta": meta or {}}
+        )
+
+    def trial_records(self) -> "list[dict]":
+        return [r for r in self.records if r.get("kind") == "trial"]
+
+    def completed(self) -> "dict[str, dict]":
+        """Successful trial payloads by key (last write wins)."""
+        return {
+            r["key"]: r["payload"]
+            for r in self.trial_records()
+            if r.get("status") == "ok"
+        }
+
+    def failures(self) -> "list[dict]":
+        """Failed trial records (exhausted retries), in journal order."""
+        return [r for r in self.trial_records() if r.get("status") == "failed"]
+
+    def completed_keys(self) -> "set[str]":
+        return set(self.completed())
+
+    def record_success(self, key: str, payload: dict, *, attempts: int, elapsed_s: float) -> None:
+        self.append(
+            {
+                "kind": "trial",
+                "key": key,
+                "status": "ok",
+                "payload": payload,
+                "attempts": attempts,
+                "elapsed_s": elapsed_s,
+            }
+        )
+
+    def record_failure(self, key: str, failure: dict, *, attempts: int) -> None:
+        self.append(
+            {
+                "kind": "trial",
+                "key": key,
+                "status": "failed",
+                "failure": failure,
+                "attempts": attempts,
+            }
+        )

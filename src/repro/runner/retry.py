@@ -1,0 +1,65 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+A transient trial failure (a flaky allocation, an OS hiccup, a worker that
+lost a race) deserves another attempt; a deterministic one does not deserve
+an unbounded loop.  :class:`RetryPolicy` bounds both: at most
+``max_attempts`` tries, sleeping ``base_delay · 2^k`` (capped at
+``max_delay``) between them, with multiplicative jitter drawn from a
+*seeded* generator so reruns of the same sweep back off identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try a trial, and how long to wait between tries.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per trial (1 = no retry).
+    base_delay:
+        First backoff sleep, seconds; attempt k sleeps ``base · 2^(k-1)``.
+    max_delay:
+        Backoff ceiling, seconds.
+    jitter:
+        Relative jitter amplitude: each sleep is scaled by a factor drawn
+        uniformly from ``[1, 1 + jitter]``.  0 disables jitter.
+    seed:
+        Seed for the jitter stream (deterministic across reruns).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.1
+    max_delay: float = 5.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        check_nonnegative("base_delay", self.base_delay)
+        check_nonnegative("max_delay", self.max_delay)
+        check_nonnegative("jitter", self.jitter)
+
+    def delays(self) -> "list[float]":
+        """Backoff sleeps (seconds) between the attempts, jitter applied.
+
+        The list has ``max_attempts - 1`` entries: no sleep precedes the
+        first attempt or follows the last.
+        """
+        rng = np.random.default_rng(self.seed)
+        delays = []
+        for attempt in range(self.max_attempts - 1):
+            delay = min(self.base_delay * (2.0**attempt), self.max_delay)
+            if self.jitter > 0:
+                delay *= 1.0 + self.jitter * float(rng.random())
+            delays.append(delay)
+        return delays

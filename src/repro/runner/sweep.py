@@ -1,0 +1,173 @@
+"""Crash-tolerant sweep execution: checkpoint, isolate, retry, quarantine.
+
+:class:`SweepRunner` drives a list of :class:`~repro.runner.isolation.TrialSpec`
+through the journal/isolation/retry machinery:
+
+1. **Resume** — trial keys already marked ``ok`` in the journal are skipped
+   (their payloads are reused), so re-running an interrupted sweep finishes
+   only the remainder and aggregates bit-identically to an uninterrupted
+   run.
+2. **Isolate** — each attempt runs in a subprocess worker with a wall-clock
+   timeout (``isolation="inline"`` opts out, for tests and debugging).
+3. **Retry** — failed attempts back off exponentially with jitter
+   (:class:`~repro.runner.retry.RetryPolicy`) up to the attempt budget.
+4. **Quarantine** — a trial that exhausts its budget becomes a structured
+   :class:`~repro.runner.failures.TrialFailure` plus a reproducible ``.npz``
+   in the ``failed/`` directory; the sweep carries on and aggregates over
+   the surviving trials.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.runner.failures import TrialFailure, quarantine_trial
+from repro.runner.isolation import TrialOutcome, TrialSpec, run_in_subprocess, run_inline
+from repro.runner.journal import RunJournal
+from repro.runner.retry import RetryPolicy
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Execution knobs of one sweep.
+
+    Parameters
+    ----------
+    timeout_s:
+        Per-attempt wall-clock budget (seconds); ``None`` disables.
+    retry:
+        Backoff/attempt policy.
+    isolation:
+        ``"subprocess"`` (default — hang/crash-proof) or ``"inline"``.
+    failed_dir:
+        Quarantine directory for ``.npz`` reproducers; ``None`` derives
+        ``<journal>.failed/`` next to the journal (no quarantine files for
+        in-memory journals).
+    sleep:
+        Injection point for the backoff sleep (tests pass a no-op).
+    """
+
+    timeout_s: "float | None" = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    isolation: str = "subprocess"
+    failed_dir: "str | Path | None" = None
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.isolation not in ("subprocess", "inline"):
+            raise ValueError(
+                f"isolation must be 'subprocess' or 'inline', got {self.isolation!r}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :meth:`SweepRunner.run` call.
+
+    ``completed`` maps trial key → payload for every successful trial,
+    including ones restored from the journal without re-execution;
+    ``executed`` / ``skipped`` record which keys ran now vs. were resumed.
+    """
+
+    completed: "dict[str, object]" = field(default_factory=dict)
+    failures: "list[TrialFailure]" = field(default_factory=list)
+    executed: "set[str]" = field(default_factory=set)
+    skipped: "set[str]" = field(default_factory=set)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+
+class SweepRunner:
+    """Executes trial specs against a journal (see module docstring)."""
+
+    def __init__(self, journal: "RunJournal | None" = None, config: "SweepConfig | None" = None) -> None:
+        self.journal = journal if journal is not None else RunJournal()
+        self.config = config if config is not None else SweepConfig()
+
+    # ------------------------------------------------------------------ #
+
+    def _failed_dir(self) -> "Path | None":
+        if self.config.failed_dir is not None:
+            return Path(self.config.failed_dir)
+        if self.journal.path is not None:
+            return self.journal.path.with_name(self.journal.path.name + ".failed")
+        return None
+
+    def _attempt(self, spec: TrialSpec) -> TrialOutcome:
+        if self.config.isolation == "inline":
+            return run_inline(spec)
+        return run_in_subprocess(spec, timeout_s=self.config.timeout_s)
+
+    def run(
+        self,
+        specs: "list[TrialSpec]",
+        *,
+        sweep_name: str = "sweep",
+        meta: "dict | None" = None,
+    ) -> SweepResult:
+        """Run every spec not already completed in the journal."""
+        keys = [spec.key for spec in specs]
+        if len(set(keys)) != len(keys):
+            raise ValueError("trial specs have duplicate keys")
+        self.journal.write_header(
+            sweep_name, [spec.to_json() for spec in specs], meta=meta
+        )
+
+        result = SweepResult()
+        already_done = self.journal.completed()
+        for record in self.journal.failures():
+            result.failures.append(TrialFailure.from_record(record["failure"]))
+        for spec in specs:
+            if spec.key in already_done:
+                result.completed[spec.key] = already_done[spec.key]
+                result.skipped.add(spec.key)
+                continue
+            self._run_one(spec, result)
+        return result
+
+    def _run_one(self, spec: TrialSpec, result: SweepResult) -> None:
+        delays = self.config.retry.delays()
+        attempts = 0
+        outcome: "TrialOutcome | None" = None
+        for attempt in range(self.config.retry.max_attempts):
+            attempts = attempt + 1
+            outcome = self._attempt(spec)
+            if outcome.ok:
+                break
+            if attempt < len(delays) and delays[attempt] > 0:
+                self.config.sleep(delays[attempt])
+
+        result.executed.add(spec.key)
+        assert outcome is not None  # max_attempts >= 1 guarantees one attempt
+        if outcome.ok:
+            result.completed[spec.key] = outcome.payload
+            self.journal.record_success(
+                spec.key,
+                outcome.payload,
+                attempts=attempts,
+                elapsed_s=outcome.elapsed_s,
+            )
+            return
+
+        failure = quarantine_trial(
+            spec, outcome.error or {}, attempts, self._failed_dir()
+        )
+        result.failures.append(failure)
+        self.journal.record_failure(spec.key, failure.to_record(), attempts=attempts)
+
+
+def specs_from_journal(journal: RunJournal) -> "list[TrialSpec]":
+    """Rebuild the sweep's trial specs from its journal header (--resume)."""
+    header = journal.header
+    if header is None:
+        raise ValueError(
+            f"journal {journal.path} has no header record — not a sweep journal"
+        )
+    return [TrialSpec.from_json(item) for item in header["spec"]]

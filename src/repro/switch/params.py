@@ -132,3 +132,16 @@ def slow_ocs_params(n_ports: int, *, eps_rate: float = 10.0, ocs_rate: float = 1
         ocs_rate=ocs_rate,
         reconfig_delay=SLOW_OCS_DELTA_MS,
     )
+
+
+def ocs_params(ocs: str, n_ports: int) -> SwitchParams:
+    """Switch parameters by OCS class name (``"fast"`` / ``"slow"``).
+
+    The string form is what journaled trial specs store, so resumable
+    sweeps rebuild parameters through this helper.
+    """
+    if ocs == "fast":
+        return fast_ocs_params(n_ports)
+    if ocs == "slow":
+        return slow_ocs_params(n_ports)
+    raise ValueError(f"unknown OCS class {ocs!r}; expected 'fast' or 'slow'")

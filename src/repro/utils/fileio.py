@@ -1,0 +1,51 @@
+"""Atomic file writes shared by persistence layers.
+
+A write that is interrupted (crash, SIGKILL, full disk) must never leave a
+half-written file where a valid one used to be.  Every JSON artifact in the
+library — schedules, results, run journals — goes through
+:func:`atomic_write_text`: the payload is written to a temporary file in
+the *same directory* (so the final rename cannot cross filesystems),
+flushed and fsynced, and then moved over the destination with
+:func:`os.replace`, which POSIX guarantees to be atomic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: "str | Path", text: str) -> Path:
+    """Atomically replace ``path`` with ``text`` (tmp file + ``os.replace``).
+
+    The destination either keeps its old content or holds the complete new
+    content — never a torn mixture — even across power loss, because the
+    temporary file is fsynced before the rename.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(payload: dict, path: "str | Path", *, indent: "int | None" = 2) -> Path:
+    """Atomically write ``payload`` as JSON (see :func:`atomic_write_text`)."""
+    return atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=True) + "\n"
+    )

@@ -1,0 +1,47 @@
+"""Importable trial functions for the runner tests.
+
+Subprocess workers resolve trials by ``"module:function"`` path, so test
+trials must live in a real module (lambdas and locals cannot cross the
+process boundary).  State that must survive across retry attempts — each
+attempt may be a fresh process — goes through marker files on disk.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+def ok_trial(*, trial: int = 0, value: float = 1.0) -> dict:
+    return {"trial": trial, "value": value}
+
+
+def failing_trial(*, trial: int = 0, message: str = "boom", seed: "int | None" = None) -> dict:
+    raise RuntimeError(message)
+
+
+def flaky_trial(*, trial: int = 0, marker: str = "") -> dict:
+    """Fails on the first attempt, succeeds on the next (marker on disk)."""
+    path = Path(marker)
+    if not path.exists():
+        path.write_text("attempt 1 failed here")
+        raise RuntimeError("flaky: first attempt")
+    return {"trial": trial, "recovered": True}
+
+
+def sleepy_trial(*, seconds: float = 60.0, **_ignored) -> dict:
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+def crashing_trial(*, trial: int = 0) -> dict:
+    """Dies without reporting — models a segfault / OOM kill."""
+    os._exit(17)
+
+
+def demand_for(*, trial: int = 0, **_ignored) -> np.ndarray:
+    """Deterministic per-trial demand matrix for quarantine tests."""
+    return np.full((4, 4), float(trial + 1))

@@ -8,6 +8,16 @@ import pytest
 from repro.switch.params import SwitchParams, fast_ocs_params, slow_ocs_params
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_dir(tmp_path, monkeypatch):
+    """Point auto-derived sweep journals at the test's tmp dir.
+
+    CLI sweeps are resumable-by-default and would otherwise create a
+    ``runs/`` directory inside the repository on every test invocation.
+    """
+    monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "runs"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic generator; tests that need variation spawn their own."""

@@ -116,6 +116,11 @@ class TestRunComparison:
         with pytest.raises(ValueError):
             default_trials()
 
+    def test_default_trials_rejects_non_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "abc")
+        with pytest.raises(ValueError, match="REPRO_SEEDS must be an integer.*'abc'"):
+            default_trials()
+
     def test_unknown_scheduler_rejected(self):
         params = fast_ocs_params(16)
         config = ExperimentConfig(

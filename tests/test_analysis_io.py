@@ -73,7 +73,13 @@ class TestScheduleRoundTrip:
     def test_version_mismatch_rejected(self, h_schedule):
         payload = schedule_to_dict(h_schedule)
         payload["format"] = 99
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"unsupported schedule format v99 \(expected v1\)"):
+            schedule_from_dict(payload)
+
+    def test_missing_version_rejected_with_clear_message(self, h_schedule):
+        payload = schedule_to_dict(h_schedule)
+        del payload["format"]
+        with pytest.raises(ValueError, match="no version field"):
             schedule_from_dict(payload)
 
 

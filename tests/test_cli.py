@@ -115,6 +115,146 @@ class TestRobustnessCommand:
             main(["robustness", "--radix", "16", "--trials", "1", "--fault-rates", "2"])
 
 
+class TestDemandValidation:
+    """Satellite: _load_demand rejects bad files with one actionable line."""
+
+    def _run_schedule(self, path):
+        return main(["schedule", str(path)])
+
+    def test_rejects_nan(self, tmp_path):
+        bad = tmp_path / "bad.npy"
+        demand = np.ones((8, 8))
+        demand[2, 3] = np.nan
+        np.save(bad, demand)
+        with pytest.raises(SystemExit, match="invalid demand file.*bad.npy"):
+            self._run_schedule(bad)
+
+    def test_rejects_negative(self, tmp_path):
+        bad = tmp_path / "neg.csv"
+        demand = np.ones((4, 4))
+        demand[0, 0] = -1.0
+        np.savetxt(bad, demand, delimiter=",")
+        with pytest.raises(SystemExit, match="invalid demand file"):
+            self._run_schedule(bad)
+
+    def test_rejects_non_square(self, tmp_path):
+        bad = tmp_path / "rect.npy"
+        np.save(bad, np.ones((4, 6)))
+        with pytest.raises(SystemExit, match="invalid demand file"):
+            self._run_schedule(bad)
+
+    def test_rejects_unreadable_file(self, tmp_path):
+        bad = tmp_path / "garbage.npy"
+        bad.write_bytes(b"not a numpy file at all")
+        with pytest.raises(SystemExit, match="cannot read demand file"):
+            self._run_schedule(bad)
+
+    def test_error_message_suggests_the_fix(self, tmp_path):
+        bad = tmp_path / "bad.npy"
+        np.save(bad, np.full((4, 4), np.inf))
+        with pytest.raises(SystemExit, match="python -m repro workload"):
+            self._run_schedule(bad)
+
+
+class TestSweepCommand:
+    """Tentpole: journaled resumable sweeps via the CLI."""
+
+    def test_compare_writes_journal_and_rerun_skips(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        argv = [
+            "compare", "--radix", "16", "--trials", "2",
+            "--journal", str(journal), "--isolation", "inline",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert journal.exists()
+
+        # Re-running the identical command resumes: no re-execution, same
+        # table, and the journal does not grow.
+        size = journal.stat().st_size
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "already journaled" in second.err
+        assert second.out == first.out
+        assert journal.stat().st_size == size
+
+    def test_sweep_resume_finishes_interrupted_journal(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        argv = [
+            "sweep", "compare", "--radix", "16", "--trials", "2",
+            "--journal", str(journal), "--isolation", "inline",
+        ]
+        assert main(argv) == 0
+        table = capsys.readouterr().out
+
+        # Drop the last trial record to model a mid-sweep kill.
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:-1]) + "\n")
+        assert main(["sweep", "--resume", str(journal), "--isolation", "inline"]) == 0
+        resumed = capsys.readouterr()
+        assert "1 trials restored, 1 executed now" in resumed.err
+
+        # Bit-identical on everything except the wall-clock scheduler-time
+        # row (host timing, not experiment output).
+        def deterministic(text):
+            return [ln for ln in text.splitlines() if "scheduler time" not in ln]
+
+        assert deterministic(resumed.out) == deterministic(table)
+
+    def test_failing_trial_quarantined_and_sweep_survives(self, tmp_path, capsys, monkeypatch):
+        # Make one trial of the error sweep blow up inside the worker; the
+        # sweep must finish, aggregate over the survivors, and quarantine
+        # exactly the failing trial.
+        import repro.analysis.robustness as robustness
+
+        real_error_trial = robustness.error_trial
+
+        def sabotaged(*, error=0.0, **kwargs):
+            if error > 0:
+                raise RuntimeError("sabotaged trial")
+            return real_error_trial(error=error, **kwargs)
+
+        monkeypatch.setattr(robustness, "error_trial", sabotaged)
+        journal = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "robustness", "--radix", "16", "--trials", "1",
+                "--fault-rates", "0", "--error-rates", "0,0.3",
+                "--journal", str(journal), "--isolation", "inline",
+                "--retries", "1", "--retry-base-delay", "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "1 trial(s) failed" in captured.err
+        assert "sabotaged trial" in captured.err
+        assert "point omitted" in captured.err
+        # The fault table and the surviving error point still printed.
+        assert "hardware fault sweep" in captured.out
+
+        failed_dir = tmp_path / "run.jsonl.failed"
+        archives = list(failed_dir.glob("*.npz"))
+        assert len(archives) == 1
+        archive = np.load(archives[0])
+        assert archive["demand"].shape == (16, 16)
+
+    def test_no_journal_flag_keeps_disk_clean(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "runs"))
+        assert main(
+            ["compare", "--radix", "16", "--trials", "1", "--no-journal",
+             "--isolation", "inline"]
+        ) == 0
+        assert not (tmp_path / "runs").exists()
+
+    def test_sweep_resume_missing_journal_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["sweep", "--resume", str(tmp_path / "nope.jsonl")])
+
+    def test_sweep_without_subcommand_or_resume_rejected(self):
+        with pytest.raises(SystemExit, match="sub-command"):
+            main(["sweep"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,88 @@
+"""Tests for the JSONL run journal (checkpoint store)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import JournalFormatError, RunJournal
+from repro.utils.fileio import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWrites:
+    def test_write_and_replace(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "one\n")
+        atomic_write_text(target, "two\n")
+        assert target.read_text() == "two\n"
+        # No tmp droppings left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_json_helper_round_trips(self, tmp_path):
+        target = tmp_path / "payload.json"
+        atomic_write_json({"b": 2, "a": 1}, target)
+        assert json.loads(target.read_text()) == {"a": 1, "b": 2}
+
+
+class TestRunJournal:
+    def test_append_persists_and_reloads(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record_success("exp:0000", {"x": 1.5}, attempts=1, elapsed_s=0.01)
+        journal.record_success("exp:0001", {"x": 2.5}, attempts=2, elapsed_s=0.02)
+
+        reloaded = RunJournal(path)
+        assert reloaded.completed() == {"exp:0000": {"x": 1.5}, "exp:0001": {"x": 2.5}}
+        assert reloaded.completed_keys() == {"exp:0000", "exp:0001"}
+
+    def test_in_memory_journal_has_no_file(self):
+        journal = RunJournal()
+        journal.record_success("k", {"v": 1}, attempts=1, elapsed_s=0.0)
+        assert journal.path is None
+        assert journal.completed_keys() == {"k"}
+
+    def test_every_record_carries_the_envelope(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.append({"kind": "note", "text": "hello"})
+        record = json.loads(path.read_text())
+        assert record["format"] == 1
+
+    def test_append_requires_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            RunJournal().append({"payload": 1})
+
+    def test_tolerates_torn_trailing_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record_success("exp:0000", {"x": 1}, attempts=1, elapsed_s=0.0)
+        with path.open("a") as handle:
+            handle.write('{"format": 1, "kind": "trial", "key": "exp:0001", "stat')
+
+        reloaded = RunJournal(path)
+        assert reloaded.completed_keys() == {"exp:0000"}
+        assert reloaded.torn_lines == 1
+
+    def test_rejects_future_format(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"format": 99, "kind": "trial", "key": "k", "status": "ok"}\n')
+        with pytest.raises(JournalFormatError, match="v99"):
+            RunJournal(path)
+
+    def test_header_written_once_and_checked(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.write_header("sweep-a", [{"key": "k"}], meta={"kind": "compare"})
+        journal.write_header("sweep-a", [{"key": "k"}])  # idempotent
+        assert sum(r["kind"] == "header" for r in journal.records) == 1
+
+        with pytest.raises(ValueError, match="belongs to sweep"):
+            RunJournal(path).write_header("sweep-b", [])
+
+    def test_failures_query(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.record_failure("exp:0000", {"error_type": "RuntimeError"}, attempts=3)
+        journal.record_success("exp:0001", {"x": 1}, attempts=1, elapsed_s=0.0)
+        assert [r["key"] for r in journal.failures()] == ["exp:0000"]
+        assert journal.completed_keys() == {"exp:0001"}

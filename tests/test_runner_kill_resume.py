@@ -1,0 +1,34 @@
+"""End-to-end kill-and-resume test: SIGKILL a sweep, resume, compare.
+
+Drives ``scripts/kill_resume_smoke.py`` — the same harness CI runs — at a
+small radix: a journaled compare sweep is SIGKILLed mid-run, resumed with
+``python -m repro sweep --resume``, and the merged journal must match an
+uninterrupted run bit-for-bit (wall-clock fields excluded) with zero
+re-executed trials.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SMOKE = REPO_ROOT / "scripts" / "kill_resume_smoke.py"
+
+
+def test_kill_and_resume_is_bit_identical(tmp_path):
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(SMOKE),
+            "--radix", "16",
+            "--trials", "4",
+            "--workdir", str(tmp_path / "smoke"),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    assert "bit-identical" in proc.stdout

@@ -1,0 +1,197 @@
+"""Tests for the crash-tolerant sweep runner (isolation, retry, resume)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runner import (
+    RetryPolicy,
+    RunJournal,
+    SweepConfig,
+    SweepRunner,
+    TrialSpec,
+    run_in_subprocess,
+    specs_from_journal,
+)
+
+_OK = "tests._runner_trials:ok_trial"
+_FAIL = "tests._runner_trials:failing_trial"
+_FLAKY = "tests._runner_trials:flaky_trial"
+_SLEEPY = "tests._runner_trials:sleepy_trial"
+_CRASH = "tests._runner_trials:crashing_trial"
+_DEMAND = "tests._runner_trials:demand_for"
+
+
+def _spec(fn: str, trial: int = 0, **kwargs) -> TrialSpec:
+    return TrialSpec(
+        experiment="unit",
+        key=f"unit:{trial:04d}",
+        fn=fn,
+        kwargs={"trial": trial, **kwargs},
+        demand_fn=_DEMAND,
+    )
+
+
+def _config(**overrides) -> SweepConfig:
+    defaults = dict(
+        isolation="inline",
+        retry=RetryPolicy(max_attempts=1),
+        sleep=lambda _s: None,
+    )
+    defaults.update(overrides)
+    return SweepConfig(**defaults)
+
+
+class TestRetryPolicy:
+    def test_delays_grow_and_cap(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=1.0, max_delay=3.0, jitter=0.0)
+        assert policy.delays() == pytest.approx([1.0, 2.0, 3.0, 3.0])
+
+    def test_jitter_is_deterministic(self):
+        a = RetryPolicy(max_attempts=4, jitter=0.5, seed=7).delays()
+        b = RetryPolicy(max_attempts=4, jitter=0.5, seed=7).delays()
+        assert a == b
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestIsolation:
+    def test_subprocess_returns_payload(self):
+        outcome = run_in_subprocess(_spec(_OK, value=3.0))
+        assert outcome.ok
+        assert outcome.payload == {"trial": 0, "value": 3.0}
+
+    def test_subprocess_captures_exception(self):
+        outcome = run_in_subprocess(_spec(_FAIL, message="kaput"))
+        assert outcome.status == "error"
+        assert outcome.error["type"] == "RuntimeError"
+        assert "kaput" in outcome.error["message"]
+        assert "RuntimeError" in outcome.error["traceback"]
+
+    def test_subprocess_timeout_kills_the_worker(self):
+        outcome = run_in_subprocess(_spec(_SLEEPY, seconds=60.0), timeout_s=0.3)
+        assert outcome.status == "timeout"
+        assert outcome.error["type"] == "TrialTimeout"
+        assert outcome.elapsed_s < 30.0
+
+    def test_subprocess_detects_silent_death(self):
+        outcome = run_in_subprocess(_spec(_CRASH))
+        assert outcome.status == "crashed"
+        assert outcome.error["type"] == "WorkerDied"
+        assert "17" in outcome.error["message"]
+
+
+class TestSweepRunner:
+    def test_all_trials_succeed(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        runner = SweepRunner(journal, _config())
+        specs = [_spec(_OK, trial=t) for t in range(3)]
+        result = runner.run(specs, sweep_name="unit")
+        assert set(result.completed) == {s.key for s in specs}
+        assert result.executed == {s.key for s in specs}
+        assert not result.failures
+
+    def test_failing_trial_is_quarantined_and_sweep_survives(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        runner = SweepRunner(journal, _config(retry=RetryPolicy(max_attempts=2)))
+        specs = [_spec(_OK, trial=0), _spec(_FAIL, trial=1, seed=42), _spec(_OK, trial=2)]
+        result = runner.run(specs, sweep_name="unit")
+
+        # Exactly the bad trial failed; the sweep aggregated over survivors.
+        assert set(result.completed) == {"unit:0000", "unit:0002"}
+        assert [f.key for f in result.failures] == ["unit:0001"]
+        failure = result.failures[0]
+        assert failure.error_type == "RuntimeError"
+        assert failure.attempts == 2
+        assert failure.seed == 42
+        assert "RuntimeError" in failure.traceback
+
+        # The quarantined .npz replays the trial: demand + kwargs + error.
+        archive = np.load(failure.quarantine_path)
+        np.testing.assert_array_equal(archive["demand"], np.full((4, 4), 2.0))
+        kwargs = json.loads(str(archive["kwargs_json"]))
+        assert kwargs["trial"] == 1
+        assert failure.demand_fingerprint is not None
+
+        # The failure is journaled, so a resume restores it too.
+        resumed = SweepRunner(RunJournal(journal.path), _config()).run(
+            specs, sweep_name="unit"
+        )
+        assert [f.key for f in resumed.failures] == ["unit:0001", "unit:0001"]
+
+    def test_flaky_trial_recovers_on_retry(self, tmp_path):
+        marker = tmp_path / "marker"
+        spec = TrialSpec(
+            experiment="unit",
+            key="unit:0000",
+            fn=_FLAKY,
+            kwargs={"trial": 0, "marker": str(marker)},
+        )
+        journal = RunJournal(tmp_path / "run.jsonl")
+        runner = SweepRunner(journal, _config(retry=RetryPolicy(max_attempts=3)))
+        result = runner.run([spec], sweep_name="unit")
+        assert result.completed["unit:0000"] == {"trial": 0, "recovered": True}
+        assert journal.trial_records()[0]["attempts"] == 2
+
+    def test_timeout_trial_fails_structurally(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        runner = SweepRunner(
+            journal,
+            _config(isolation="subprocess", timeout_s=0.3, retry=RetryPolicy(max_attempts=1)),
+        )
+        result = runner.run([_spec(_SLEEPY, seconds=60.0)], sweep_name="unit")
+        assert [f.error_type for f in result.failures] == ["TrialTimeout"]
+
+    def test_resume_skips_completed_keys(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        specs = [_spec(_OK, trial=t) for t in range(4)]
+        first = SweepRunner(RunJournal(path), _config()).run(specs, sweep_name="unit")
+
+        # Chop the journal down to the header + first two trial records to
+        # model a mid-sweep kill, then resume.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n")
+        journal = RunJournal(path)
+        resumed = SweepRunner(journal, _config()).run(specs, sweep_name="unit")
+
+        assert resumed.skipped == {"unit:0000", "unit:0001"}
+        assert resumed.executed == {"unit:0002", "unit:0003"}
+        assert resumed.completed == first.completed
+
+        # A second resume re-executes nothing at all.
+        again = SweepRunner(RunJournal(path), _config()).run(specs, sweep_name="unit")
+        assert again.executed == set()
+        assert again.completed == first.completed
+
+    def test_duplicate_keys_rejected(self):
+        runner = SweepRunner(RunJournal(), _config())
+        with pytest.raises(ValueError, match="duplicate"):
+            runner.run([_spec(_OK, trial=0), _spec(_OK, trial=0)], sweep_name="unit")
+
+    def test_specs_round_trip_through_the_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        specs = [_spec(_OK, trial=t) for t in range(2)]
+        SweepRunner(RunJournal(path), _config()).run(specs, sweep_name="unit")
+        assert specs_from_journal(RunJournal(path)) == specs
+
+    def test_specs_from_headerless_journal_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            specs_from_journal(RunJournal())
+
+    def test_backoff_sleeps_between_attempts(self, tmp_path):
+        sleeps: "list[float]" = []
+        journal = RunJournal(tmp_path / "run.jsonl")
+        runner = SweepRunner(
+            journal,
+            _config(
+                retry=RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0),
+                sleep=sleeps.append,
+            ),
+        )
+        runner.run([_spec(_FAIL)], sweep_name="unit")
+        assert sleeps == pytest.approx([0.5, 1.0])

@@ -1,0 +1,171 @@
+"""Scheduler watchdog tests: adversarial inputs degrade, never crash.
+
+Before this PR, QuickStuff raised ``RuntimeError("QuickStuff failed to
+equalize row/column sums")`` on float-pathological matrices and both
+scheduler loops could in principle spin unboundedly; a single such demand
+matrix aborted an entire sweep.  The watchdogs turn every one of those
+paths into a valid (possibly truncated) schedule plus a
+:class:`~repro.hybrid.diagnostics.SchedulerDiagnostics` record — leftover
+demand always drains over the packet switch, so the simulation completes
+and conserves volume regardless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hybrid.diagnostics import SchedulerDiagnostics
+from repro.hybrid.eclipse import EclipseScheduler
+from repro.hybrid.solstice import SolsticeScheduler, quick_stuff, quick_stuff_diagnosed
+from repro.hybrid.solstice.stuffing import _imbalance, _repair_round
+from repro.sim import simulate_hybrid
+from repro.switch.params import fast_ocs_params
+from repro.utils.validation import VOLUME_TOL
+
+_adversarial_matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 8)).map(lambda t: (t[0], t[0])),
+    # Huge dynamic range plus near-tolerance entries — the float regime
+    # that used to trip the equalization check.
+    elements=st.one_of(
+        st.just(0.0),
+        st.floats(1e-12, 1e-6),
+        st.floats(0.1, 10.0),
+        st.floats(1e6, 1e12),
+    ),
+)
+
+
+class TestQuickStuffWatchdog:
+    @settings(max_examples=150, deadline=None)
+    @given(demand=_adversarial_matrices)
+    def test_never_raises_and_keeps_dominance(self, demand):
+        stuffed, diag = quick_stuff_diagnosed(demand.copy())
+        # E >= D element-wise: every real byte of demand stays accounted for.
+        assert np.all(stuffed >= demand - VOLUME_TOL)
+        phi = max(demand.sum(axis=1).max(), demand.sum(axis=0).max(), 0.0)
+        if diag is None:
+            if phi > VOLUME_TOL:
+                tolerance = demand.shape[0] * 1e-6 * max(phi, 1.0)
+                assert abs(stuffed.sum(axis=1) - stuffed.sum(axis=1)[0]).max() <= tolerance
+        else:
+            assert diag.event == "stuffing-imbalance"
+            assert diag.residual > 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(demand=_adversarial_matrices)
+    def test_schedule_from_adversarial_demand_still_covers_it(self, demand):
+        # End-to-end: Solstice + EPS must complete and conserve volume on
+        # the same matrices, diagnostics or not.
+        params = fast_ocs_params(demand.shape[0])
+        scheduler = SolsticeScheduler()
+        schedule = scheduler.schedule(demand.copy(), params)
+        result = simulate_hybrid(demand, schedule, params)
+        result.check_conservation()
+        assert np.isfinite(result.completion_time)
+
+    def test_repair_round_only_adds_volume(self):
+        # Wreck the sums by hand; repair must re-equalize by *adding*.
+        stuffed = np.array([[4.0, 0.0], [1.0, 2.0]])
+        before = stuffed.copy()
+        phi, imbalance = _repair_round(stuffed, 4.0)
+        assert phi >= 4.0
+        assert np.all(stuffed >= before)
+        assert imbalance <= 2 * np.finfo(np.float64).eps * phi
+
+    def test_plain_quick_stuff_equalizes_normal_demand(self, sparse_demand):
+        stuffed = quick_stuff(sparse_demand)
+        phi = stuffed.sum(axis=1)[0]
+        np.testing.assert_allclose(stuffed.sum(axis=1), phi, atol=1e-9 * max(phi, 1))
+        np.testing.assert_allclose(stuffed.sum(axis=0), phi, atol=1e-9 * max(phi, 1))
+
+
+class TestSolsticeWatchdogs:
+    def test_slice_infeasible_degrades_to_valid_schedule(self, monkeypatch, sparse_demand):
+        # Feed Solstice a stuffed matrix whose equal-sum invariant is broken
+        # so BigSlice cannot find a perfect matching.
+        import repro.hybrid.solstice.scheduler as mod
+
+        def broken_stuffing(demand):
+            bad = np.asarray(demand, dtype=np.float64).copy()
+            bad[0, :] = 0.0  # row 0 has no entries -> no perfect matching
+            return bad, None
+
+        monkeypatch.setattr(mod, "quick_stuff_diagnosed", broken_stuffing)
+        params = fast_ocs_params(8)
+        scheduler = SolsticeScheduler()
+        schedule = scheduler.schedule(sparse_demand, params)
+
+        events = [diag.event for diag in scheduler.last_diagnostics]
+        assert "slice-infeasible" in events
+        # The degraded schedule is still simulatable; the EPS drains the rest.
+        result = simulate_hybrid(sparse_demand, schedule, params)
+        result.check_conservation()
+        assert np.isfinite(result.completion_time)
+
+    def test_config_cap_records_uncovered_demand(self):
+        params = fast_ocs_params(8)
+        rng = np.random.default_rng(3)
+        demand = rng.uniform(1.0, 5.0, (8, 8))  # dense: needs many configs
+        scheduler = SolsticeScheduler(max_configs=1)
+        schedule = scheduler.schedule(demand, params)
+        assert schedule.n_configs <= 1
+
+        events = [diag.event for diag in scheduler.last_diagnostics]
+        assert events == ["config-cap"]
+        diag = scheduler.last_diagnostics[0]
+        assert diag.cap == 1
+        assert diag.residual > 0
+        result = simulate_hybrid(demand, schedule, params)
+        result.check_conservation()
+
+    def test_diagnostics_reset_between_calls(self, sparse_demand):
+        params = fast_ocs_params(8)
+        scheduler = SolsticeScheduler(max_configs=1)
+        scheduler.schedule(np.ones((8, 8)), params)
+        assert scheduler.last_diagnostics  # cap trips on dense ones
+        scheduler.schedule(np.zeros((8, 8)), params)
+        assert scheduler.last_diagnostics == []
+
+    def test_to_dict_round_trip(self):
+        diag = SchedulerDiagnostics(
+            scheduler="solstice", event="config-cap", detail="x", iterations=3,
+            cap=4, residual=1.5,
+        )
+        payload = diag.to_dict()
+        assert payload["event"] == "config-cap"
+        assert payload["residual"] == 1.5
+
+
+class TestEclipseWatchdogs:
+    def test_step_cap_degrades_gracefully(self, sparse_demand):
+        params = fast_ocs_params(8)
+        scheduler = EclipseScheduler(max_steps=1, window=10.0)
+        schedule = scheduler.schedule(sparse_demand, params)
+        assert schedule.n_configs <= 1
+
+        events = [diag.event for diag in scheduler.last_diagnostics]
+        assert events == ["step-cap"]
+        result = simulate_hybrid(sparse_demand, schedule, params)
+        result.check_conservation()
+        assert np.isfinite(result.completion_time)
+
+    def test_default_step_cap_bounds_entries(self):
+        # Even with an enormous window, the loop cannot take more than
+        # 8n + 256 greedy steps.
+        params = fast_ocs_params(4)
+        rng = np.random.default_rng(5)
+        demand = rng.uniform(0.5, 2.0, (4, 4))
+        scheduler = EclipseScheduler(window=1e9)
+        schedule = scheduler.schedule(demand, params)
+        assert schedule.n_configs <= 8 * 4 + 256
+
+    def test_normal_run_has_no_diagnostics(self, sparse_demand):
+        params = fast_ocs_params(8)
+        scheduler = EclipseScheduler()
+        scheduler.schedule(sparse_demand, params)
+        assert scheduler.last_diagnostics == []

@@ -53,6 +53,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.experiment import make_workload
 from repro.analysis.report import format_table
 from repro.analysis.sweeps import (
@@ -75,8 +76,10 @@ from repro.runner import (
     SweepRunner,
     specs_from_journal,
 )
+from repro.obs.summarize import load_trace, render_summary
 from repro.sim import simulate_cp, simulate_hybrid
 from repro.switch.params import SwitchParams, ocs_params
+from repro.utils.fileio import atomic_write_json
 from repro.utils.validation import check_demand_matrix
 
 WORKLOADS = ("skewed", "background", "typical", "intensive", "varying")
@@ -465,9 +468,33 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_obs_summarize(args) -> int:
+    path = Path(args.trace_file)
+    if not path.exists():
+        raise SystemExit(f"obs summarize: trace file {path} does not exist")
+    data = load_trace(path)
+    print(render_summary(data, top=args.top, max_depth=args.depth))
+    return 0
+
+
 # ---------------------------------------------------------------------- #
 # parser
 # ---------------------------------------------------------------------- #
+
+
+def _add_obs_args(p) -> None:
+    group = p.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record spans/events to this JSONL file (render it with "
+        "`python -m repro obs summarize PATH`)",
+    )
+    group.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write the metrics-registry snapshot to this JSON file",
+    )
 
 
 def _add_runner_args(p) -> None:
@@ -532,6 +559,7 @@ def _add_compare_args(p) -> None:
     p.add_argument("--trials", type=int, default=3)
     p.add_argument("--skewed-ports", type=int, default=1)
     _add_runner_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_compare)
 
 
@@ -545,6 +573,7 @@ def _add_figure_args(p) -> None:
     p.add_argument("--trials", type=int, default=2)
     p.add_argument("--seed", type=int, default=2016)
     _add_runner_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_figure)
 
 
@@ -564,6 +593,7 @@ def _add_robustness_args(p) -> None:
         help="comma-separated estimation-error levels (applied as noise, staleness and miss rate)",
     )
     _add_runner_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_robustness)
 
 
@@ -603,6 +633,7 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--ocs", choices=("fast", "slow"), default="fast")
     schedule.add_argument("--switch", choices=("h", "cp"), default="cp")
     schedule.add_argument("--scheduler", choices=("solstice", "eclipse", "tdm"), default="solstice")
+    _add_obs_args(schedule)
     schedule.set_defaults(func=cmd_schedule)
 
     sweep = sub.add_parser(
@@ -617,18 +648,63 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--retries", type=int, default=2, metavar="N")
     sweep.add_argument("--retry-base-delay", type=float, default=0.1, metavar="SECONDS")
     sweep.add_argument("--isolation", choices=("subprocess", "inline"), default="subprocess")
+    _add_obs_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
     sweep_sub = sweep.add_subparsers(dest="sweep_command")
     _add_compare_args(sweep_sub.add_parser("compare", help="journaled compare sweep"))
     _add_figure_args(sweep_sub.add_parser("figure", help="journaled figure sweep"))
     _add_robustness_args(sweep_sub.add_parser("robustness", help="journaled robustness sweep"))
+
+    obs_parser = sub.add_parser("obs", help="observability tooling")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize",
+        help="render a --trace JSONL: span tree, events, top-k counters",
+    )
+    summarize.add_argument("trace_file", help="trace file written by --trace")
+    summarize.add_argument(
+        "--top", type=int, default=10, help="counters/event groups to show (default: 10)"
+    )
+    summarize.add_argument(
+        "--depth", type=int, default=None, help="maximum span-tree depth (default: unlimited)"
+    )
+    summarize.set_defaults(func=cmd_obs_summarize)
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if not trace_path and not metrics_path:
+        return args.func(args)
+
+    # Either flag turns both backends on for the whole command: the trace
+    # embeds the metrics snapshot (one file feeds `obs summarize`) and the
+    # outputs are written even when the command fails partway.
+    tracer = obs.JsonlTracer()
+    registry = obs.MetricsRegistry()
+    with obs.observability(tracer=tracer, metrics=registry):
+        root = tracer.begin(f"repro.{args.command}")
+        try:
+            return args.func(args)
+        finally:
+            tracer.end(root)
+            snapshot = registry.snapshot()
+            if trace_path:
+                tracer.dump(
+                    trace_path,
+                    meta={
+                        "command": args.command,
+                        "argv": list(argv) if argv is not None else sys.argv[1:],
+                    },
+                    metrics_snapshot=snapshot,
+                )
+                print(f"trace written to {trace_path}", file=sys.stderr)
+            if metrics_path:
+                atomic_write_json(snapshot, metrics_path)
+                print(f"metrics written to {metrics_path}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import FilterConfig
 from repro.core.cpsched import cpsched
 from repro.core.divide import divide_by_type
@@ -195,44 +196,48 @@ class CpSwitchScheduler:
             raise ValueError(f"demand is {n}x{n} but params.n_ports={params.n_ports}")
 
         # Step 1: reduce and filter (Algorithm 1).
-        reduction = reduce_with_config(
-            demand,
-            params,
-            self.filter_config,
-            blocked_o2m=blocked_o2m,
-            blocked_m2o=blocked_m2o,
-        )
+        with obs.profiled("cpsched.reduce", n=n):
+            reduction = reduce_with_config(
+                demand,
+                params,
+                self.filter_config,
+                blocked_o2m=blocked_o2m,
+                blocked_m2o=blocked_m2o,
+            )
 
         # Step 2: h-Switch scheduling of the reduced demand.
-        reduced_schedule = self.inner.schedule(reduction.reduced, params)
+        with obs.profiled("cpsched.inner", scheduler=self.inner.name):
+            reduced_schedule = self.inner.schedule(reduction.reduced, params)
 
         # Steps 3-4: interpret each permutation; schedule within composite
         # paths under the reserved EPS budget Ce*.
-        eps_budget = params.effective_eps_budget
-        filtered = reduction.filtered.copy()
-        entries: list[CompositeScheduleEntry] = []
-        for item in reduced_schedule:
-            previous = filtered.copy()
-            divided = divide_by_type(item.permutation)
-            if divided.o2m_port is not None:
-                r = divided.o2m_port
-                filtered[r, :] = cpsched(
-                    filtered[r, :], item.duration, params.ocs_rate, eps_budget
+        with obs.profiled("cpsched.interpret") as interpret_span:
+            eps_budget = params.effective_eps_budget
+            filtered = reduction.filtered.copy()
+            entries: list[CompositeScheduleEntry] = []
+            for item in reduced_schedule:
+                previous = filtered.copy()
+                divided = divide_by_type(item.permutation)
+                if divided.o2m_port is not None:
+                    r = divided.o2m_port
+                    filtered[r, :] = cpsched(
+                        filtered[r, :], item.duration, params.ocs_rate, eps_budget
+                    )
+                if divided.m2o_port is not None:
+                    c = divided.m2o_port
+                    filtered[:, c] = cpsched(
+                        filtered[:, c], item.duration, params.ocs_rate, eps_budget
+                    )
+                entries.append(
+                    CompositeScheduleEntry(
+                        regular=divided.regular,
+                        duration=item.duration,
+                        composite_served=previous - filtered,
+                        o2m_port=divided.o2m_port,
+                        m2o_port=divided.m2o_port,
+                    )
                 )
-            if divided.m2o_port is not None:
-                c = divided.m2o_port
-                filtered[:, c] = cpsched(
-                    filtered[:, c], item.duration, params.ocs_rate, eps_budget
-                )
-            entries.append(
-                CompositeScheduleEntry(
-                    regular=divided.regular,
-                    duration=item.duration,
-                    composite_served=previous - filtered,
-                    o2m_port=divided.o2m_port,
-                    m2o_port=divided.m2o_port,
-                )
-            )
+            interpret_span.set(configs=len(entries))
 
         return CpSchedule(
             entries=tuple(entries),

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.hybrid.diagnostics import SchedulerDiagnostics
 from repro.hybrid.eclipse.durations import candidate_durations
 from repro.hybrid.schedule import Schedule, ScheduleEntry
@@ -106,6 +107,14 @@ class EclipseScheduler:
         self.last_diagnostics = []
         n = residual.shape[0]
         step_cap = self.max_steps if self.max_steps is not None else 8 * n + 256
+
+        span = (
+            obs.get_tracer().begin(
+                "eclipse.schedule", n=n, window_ms=window, step_cap=step_cap
+            )
+            if obs.active() and obs.get_tracer().enabled
+            else None
+        )
         # Steps whose clock advance is below float resolution of the window
         # would let the loop run ~forever without ever filling it.
         min_advance = np.finfo(np.float64).eps * max(window, 1.0)
@@ -141,6 +150,21 @@ class EclipseScheduler:
             np.clip(residual, 0.0, None, out=residual)
             entries.append(ScheduleEntry(permutation=permutation, duration=duration))
             clock += duration + delta
+
+        if obs.active():
+            if span is not None:
+                obs.get_tracer().end(
+                    span, steps=len(entries), window_used_ms=clock
+                )
+            metrics = obs.get_metrics()
+            if metrics.enabled:
+                metrics.counter(
+                    "eclipse_steps_total", "greedy (configuration, duration) steps"
+                ).inc(len(entries))
+                metrics.counter(
+                    "eclipse_schedules_total", "EclipseScheduler.schedule() calls"
+                ).inc()
+
         return Schedule(entries=tuple(entries), reconfig_delay=delta)
 
     def _degrade(
@@ -152,16 +176,17 @@ class EclipseScheduler:
         residual: np.ndarray,
     ) -> None:
         """Record one watchdog degradation on ``last_diagnostics``."""
-        self.last_diagnostics.append(
-            SchedulerDiagnostics(
-                scheduler=self.name,
-                event=event,
-                detail=detail,
-                iterations=iterations,
-                cap=cap,
-                residual=float(residual.sum()),
-            )
+        diagnostics = SchedulerDiagnostics(
+            scheduler=self.name,
+            event=event,
+            detail=detail,
+            iterations=iterations,
+            cap=cap,
+            residual=float(residual.sum()),
         )
+        self.last_diagnostics.append(diagnostics)
+        if obs.active():
+            obs.record_watchdog(diagnostics)
 
     def _best_step(
         self,

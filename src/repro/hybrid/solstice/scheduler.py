@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.hybrid.diagnostics import SchedulerDiagnostics
 from repro.hybrid.schedule import Schedule, ScheduleEntry
 from repro.hybrid.solstice.slicing import big_slice
@@ -95,9 +96,20 @@ class SolsticeScheduler:
         makespan = 0.0
         leftover = demand.copy()  # real demand not yet covered by circuits
         self.last_diagnostics = []
-        stuffed, stuffing_diag = quick_stuff_diagnosed(demand)
+
+        obs_on = obs.active()
+        span = (
+            obs.get_tracer().begin("solstice.schedule", n=n, cap=cap)
+            if obs_on and obs.get_tracer().enabled
+            else None
+        )
+
+        with obs.profiled("solstice.stuffing"):
+            stuffed, stuffing_diag = quick_stuff_diagnosed(demand)
         if stuffing_diag is not None:
             self.last_diagnostics.append(stuffing_diag)
+            if obs_on:
+                obs.record_watchdog(stuffing_diag)
 
         while len(entries) < cap:
             port_load = max(leftover.sum(axis=1).max(), leftover.sum(axis=0).max())
@@ -153,6 +165,20 @@ class SolsticeScheduler:
                     leftover,
                 )
 
+        if obs_on:
+            if span is not None:
+                obs.get_tracer().end(
+                    span, slices=len(entries), makespan_ms=makespan
+                )
+            metrics = obs.get_metrics()
+            if metrics.enabled:
+                metrics.counter(
+                    "solstice_slices_total", "BigSlice configurations extracted"
+                ).inc(len(entries))
+                metrics.counter(
+                    "solstice_schedules_total", "SolsticeScheduler.schedule() calls"
+                ).inc()
+
         return Schedule(entries=tuple(entries), reconfig_delay=delta)
 
     def _degrade(
@@ -164,13 +190,14 @@ class SolsticeScheduler:
         leftover: np.ndarray,
     ) -> None:
         """Record one watchdog degradation on ``last_diagnostics``."""
-        self.last_diagnostics.append(
-            SchedulerDiagnostics(
-                scheduler=self.name,
-                event=event,
-                detail=detail,
-                iterations=iterations,
-                cap=cap,
-                residual=float(leftover.sum()),
-            )
+        diagnostics = SchedulerDiagnostics(
+            scheduler=self.name,
+            event=event,
+            detail=detail,
+            iterations=iterations,
+            cap=cap,
+            residual=float(leftover.sum()),
         )
+        self.last_diagnostics.append(diagnostics)
+        if obs.active():
+            obs.record_watchdog(diagnostics)

@@ -1,0 +1,167 @@
+"""Zero-overhead-when-off observability: tracing, metrics, timing hooks.
+
+Every run of the reproduction is instrumented — the fluid engine's phases,
+Solstice/Eclipse scheduler steps and watchdog trips, the cp-Switch pipeline
+stages, and the sweep runner's trials all emit spans, events and counters
+through this package.  The process *default* is the null backend: a single
+``enabled`` attribute check per instrumentation site, no allocation, no
+timing calls, and results bit-identical to an uninstrumented build.
+
+Enable it by installing a real backend, most conveniently via the CLI
+(``python -m repro compare ... --trace trace.jsonl --metrics metrics.json``)
+or programmatically::
+
+    from repro import obs
+
+    tracer = obs.JsonlTracer()
+    registry = obs.MetricsRegistry()
+    with obs.observability(tracer=tracer, metrics=registry):
+        result = simulate_hybrid(demand, schedule, params)
+    tracer.dump("trace.jsonl", metrics_snapshot=registry.snapshot())
+
+``python -m repro obs summarize trace.jsonl`` renders the span tree and the
+top counters.  See ``docs/observability.md`` for the span schema and the
+metric name catalogue.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    SpanHandle,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlTracer",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "SpanHandle",
+    "active",
+    "get_metrics",
+    "get_tracer",
+    "observability",
+    "profiled",
+    "record_watchdog",
+    "reset_for_fork",
+    "set_metrics",
+    "set_tracer",
+]
+
+_tracer = NULL_TRACER
+_metrics = NULL_METRICS
+
+
+def get_tracer():
+    """The process-wide tracer (the null tracer unless one is installed)."""
+    return _tracer
+
+
+def get_metrics():
+    """The process-wide metrics registry (null unless one is installed)."""
+    return _metrics
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` process-wide; ``None`` restores the null tracer."""
+    global _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+
+
+def set_metrics(registry) -> None:
+    """Install ``registry`` process-wide; ``None`` restores the null one."""
+    global _metrics
+    _metrics = registry if registry is not None else NULL_METRICS
+
+
+def active() -> bool:
+    """Whether any observability backend is installed.
+
+    This is the guard the hot paths check before doing *any* bookkeeping;
+    with the defaults installed it is two attribute reads.
+    """
+    return _tracer.enabled or _metrics.enabled
+
+
+@contextmanager
+def observability(tracer=None, metrics=None):
+    """Temporarily install observability backends (restored on exit)."""
+    previous = (_tracer, _metrics)
+    set_tracer(tracer)
+    set_metrics(metrics)
+    try:
+        yield
+    finally:
+        set_tracer(previous[0])
+        set_metrics(previous[1])
+
+
+def reset_for_fork() -> None:
+    """Clear inherited observations in a forked worker.
+
+    A forked sweep worker shares the parent's installed backends — records
+    buffered before the fork must not be drained and shipped back again,
+    and counters must restart from zero so the parent's merge does not
+    double-count.  Called at the top of the subprocess trial worker.
+    """
+    _tracer.reset()
+    _metrics.reset()
+
+
+@contextmanager
+def profiled(name: str, **attrs):
+    """Time a block: one span (tracing) + one ``phase_seconds`` histogram.
+
+    The primary instrumentation hook for non-inner-loop call sites.  Yields
+    a span handle (``.set(**attrs)`` attaches outcome attributes); with
+    observability off it yields the shared null handle and does nothing.
+    """
+    if not (_tracer.enabled or _metrics.enabled):
+        yield NULL_SPAN
+        return
+    start = time.perf_counter()
+    handle = _tracer.begin(name, **attrs) if _tracer.enabled else NULL_SPAN
+    try:
+        yield handle
+    finally:
+        elapsed = time.perf_counter() - start
+        if _tracer.enabled:
+            _tracer.end(handle)
+        if _metrics.enabled:
+            _metrics.histogram(
+                "phase_seconds", "wall time of profiled() blocks by span name"
+            ).labels(name=name).observe(elapsed)
+
+
+def record_watchdog(diagnostics) -> None:
+    """Publish one scheduler watchdog trip as a structured event + counter.
+
+    Called by the Solstice/Eclipse ``_degrade`` hooks with the
+    :class:`~repro.hybrid.diagnostics.SchedulerDiagnostics` they just
+    recorded; a no-op when observability is off.
+    """
+    if _tracer.enabled:
+        _tracer.event("scheduler.watchdog", **diagnostics.to_dict())
+    if _metrics.enabled:
+        _metrics.counter(
+            "scheduler_watchdog_trips_total", "watchdog degradations by scheduler/event"
+        ).labels(scheduler=diagnostics.scheduler, event=diagnostics.event).inc()

@@ -1,0 +1,294 @@
+"""Process-local metrics: counters, gauges and histograms with labels.
+
+Prometheus-flavoured but dependency-free.  A :class:`MetricsRegistry`
+memoizes metrics by name; each metric exposes ``labels(**kv)`` returning a
+labeled child so call sites can write::
+
+    registry.counter("scheduler_watchdog_trips_total").labels(
+        scheduler="solstice", event="config-cap"
+    ).inc()
+
+Like the tracer, the process default is a :class:`NullMetricsRegistry`
+whose metrics are shared no-op singletons — instrumentation left in the hot
+paths costs one ``enabled`` check when observability is off.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-serializable
+dicts; :meth:`MetricsRegistry.merge` folds one registry's snapshot into
+another (counters and histograms add, gauges last-write-wins), which is how
+forked sweep workers report their metrics back to the parent process.
+"""
+
+from __future__ import annotations
+
+#: Default histogram bucket upper bounds (seconds, tuned for scheduler /
+#: simulation phases ranging from microseconds to minutes).
+DEFAULT_BUCKETS: "tuple[float, ...]" = (
+    1e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _label_key(labels: dict) -> "tuple[tuple[str, str], ...]":
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value (optionally labeled)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = "", labels: "dict | None" = None) -> None:
+        self.name = name
+        self.description = description
+        self.label_values: dict = dict(labels or {})
+        self.value: float = 0.0
+        self._children: "dict[tuple, Counter]" = {}
+
+    def labels(self, **kv) -> "Counter":
+        key = _label_key(kv)
+        child = self._children.get(key)
+        if child is None:
+            child = Counter(self.name, self.description, labels=kv)
+            self._children[key] = child
+        return child
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def _values(self) -> "list[dict]":
+        out = []
+        if self.value or not self._children:
+            out.append({"labels": self.label_values, "value": self.value})
+        for child in self._children.values():
+            out.extend(child._values())
+        return out
+
+    def _merge(self, entry: dict) -> None:
+        labels = entry.get("labels") or {}
+        target = self.labels(**labels) if labels else self
+        target.value += float(entry.get("value", 0.0))
+
+
+class Gauge(Counter):
+    """Last-write-wins value (e.g. the most recent trial's wall time)."""
+
+    kind = "gauge"
+
+    def labels(self, **kv) -> "Gauge":
+        key = _label_key(kv)
+        child = self._children.get(key)
+        if child is None:
+            child = Gauge(self.name, self.description, labels=kv)
+            self._children[key] = child
+        return child
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def _merge(self, entry: dict) -> None:
+        labels = entry.get("labels") or {}
+        target = self.labels(**labels) if labels else self
+        target.value = float(entry.get("value", 0.0))
+
+
+class Histogram:
+    """Distribution of observations over fixed buckets (optionally labeled)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        buckets: "tuple[float, ...]" = DEFAULT_BUCKETS,
+        labels: "dict | None" = None,
+    ) -> None:
+        if list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name} buckets must be sorted")
+        self.name = name
+        self.description = description
+        self.buckets = tuple(float(b) for b in buckets)
+        self.label_values: dict = dict(labels or {})
+        self.count = 0
+        self.sum = 0.0
+        # One slot per bucket plus the +Inf overflow slot.
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self._children: "dict[tuple, Histogram]" = {}
+
+    def labels(self, **kv) -> "Histogram":
+        key = _label_key(kv)
+        child = self._children.get(key)
+        if child is None:
+            child = Histogram(self.name, self.description, self.buckets, labels=kv)
+            self._children[key] = child
+        return child
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def _values(self) -> "list[dict]":
+        out = []
+        if self.count or not self._children:
+            out.append(
+                {
+                    "labels": self.label_values,
+                    "count": self.count,
+                    "sum": self.sum,
+                    "bucket_counts": list(self.bucket_counts),
+                    "buckets": list(self.buckets),
+                }
+            )
+        for child in self._children.values():
+            out.extend(child._values())
+        return out
+
+    def _merge(self, entry: dict) -> None:
+        labels = entry.get("labels") or {}
+        target = self.labels(**labels) if labels else self
+        target.count += int(entry.get("count", 0))
+        target.sum += float(entry.get("sum", 0.0))
+        counts = entry.get("bucket_counts") or []
+        if len(counts) == len(target.bucket_counts):
+            target.bucket_counts = [
+                a + b for a, b in zip(target.bucket_counts, counts)
+            ]
+        elif counts:  # foreign bucket layout: keep totals, drop the shape
+            target.bucket_counts[-1] += sum(counts)
+
+
+class MetricsRegistry:
+    """Name → metric store for one process (or one CLI invocation)."""
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._metrics: "dict[str, Counter | Gauge | Histogram]" = {}
+
+    def _get(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {metric.kind}, not a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get(name, lambda: Counter(name, description), "counter")
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get(name, lambda: Gauge(name, description), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: "tuple[float, ...]" = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(name, lambda: Histogram(name, description, buckets), "histogram")
+
+    def reset(self) -> None:
+        """Drop every metric (fork workers call this before their trial)."""
+        self._metrics = {}
+
+    # ------------------------------------------------------------------ #
+    # snapshots
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every metric and labeled child."""
+        return {
+            name: {
+                "type": metric.kind,
+                "description": metric.description,
+                "values": metric._values(),
+            }
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histograms accumulate; gauges take the incoming value
+        (the child process observed it later than we did).
+        """
+        for name, payload in (snapshot or {}).items():
+            kind = payload.get("type", "counter")
+            description = payload.get("description", "")
+            if kind == "counter":
+                metric = self.counter(name, description)
+            elif kind == "gauge":
+                metric = self.gauge(name, description)
+            elif kind == "histogram":
+                metric = self.histogram(name, description)
+            else:
+                continue
+            for entry in payload.get("values", []):
+                metric._merge(entry)
+
+
+class _NullMetric:
+    """Shared inert metric: accepts every operation, stores nothing."""
+
+    __slots__ = ()
+
+    def labels(self, **kv) -> "_NullMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+NULL_METRIC = _NullMetric()
+
+
+class NullMetricsRegistry:
+    """Disabled registry: the process default when observability is off."""
+
+    enabled: bool = False
+
+    def counter(self, name: str, description: str = "") -> _NullMetric:
+        return NULL_METRIC
+
+    def gauge(self, name: str, description: str = "") -> _NullMetric:
+        return NULL_METRIC
+
+    def histogram(self, name: str, description: str = "", buckets=DEFAULT_BUCKETS) -> _NullMetric:
+        return NULL_METRIC
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def merge(self, snapshot: dict) -> None:
+        return None
+
+    def reset(self) -> None:
+        return None
+
+
+NULL_METRICS = NullMetricsRegistry()

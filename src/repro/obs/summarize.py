@@ -1,0 +1,208 @@
+"""Render a trace JSONL (span tree, events, top-k counters) as text.
+
+Backs ``python -m repro obs summarize``.  The renderer aggregates sibling
+spans by name — an execution with 300 ``engine.phase`` spans prints one
+line (``engine.phase ×300``) with total/mean durations — so the tree stays
+readable at sweep scale while still exposing where the wall-clock went.
+
+Loading is tolerant of a trailing torn line (same policy as the run
+journal): a trace captured from a killed process summarizes fine up to the
+kill point.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class TraceData:
+    """Parsed contents of one trace JSONL file."""
+
+    meta: dict = field(default_factory=dict)
+    spans: "list[dict]" = field(default_factory=list)
+    events: "list[dict]" = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    torn_lines: int = 0
+
+
+def load_trace(path: "str | Path") -> TraceData:
+    """Parse a trace file written by :meth:`repro.obs.JsonlTracer.dump`."""
+    data = TraceData()
+    text = Path(path).read_text(encoding="utf-8")
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            data.torn_lines += 1
+            break
+        kind = record.get("kind")
+        if kind == "meta":
+            data.meta = record
+        elif kind == "span":
+            data.spans.append(record)
+        elif kind == "event":
+            data.events.append(record)
+        elif kind == "metrics":
+            data.metrics = record.get("snapshot", {})
+    return data
+
+
+# ---------------------------------------------------------------------- #
+# span tree
+# ---------------------------------------------------------------------- #
+
+
+def _duration(span: dict) -> float:
+    start = span.get("start") or 0.0
+    end = span.get("end")
+    return max(0.0, (end if end is not None else start) - start)
+
+
+@dataclass
+class _Group:
+    """Sibling spans sharing one name, merged into a single tree row."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    first_start: float = float("inf")
+    members: "list[dict]" = field(default_factory=list)
+
+
+def _group_siblings(spans: "list[dict]") -> "list[_Group]":
+    groups: "dict[str, _Group]" = {}
+    for span in spans:
+        group = groups.setdefault(span.get("name", "?"), _Group(span.get("name", "?")))
+        group.count += 1
+        group.total += _duration(span)
+        group.first_start = min(group.first_start, span.get("start") or 0.0)
+        group.members.append(span)
+    return sorted(groups.values(), key=lambda g: g.first_start)
+
+
+def render_span_tree(data: TraceData, max_depth: "int | None" = None) -> "list[str]":
+    """Aggregate the span forest into indented text lines."""
+    children: "dict[object, list[dict]]" = {}
+    ids = {span["id"] for span in data.spans}
+    for span in data.spans:
+        parent = span.get("parent")
+        key = parent if parent in ids else None
+        children.setdefault(key, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s.get("start") or 0.0)
+
+    lines: "list[str]" = []
+
+    def emit(group: _Group, prefix: str, tail_prefix: str, depth: int) -> None:
+        label = group.name if group.count == 1 else f"{group.name} ×{group.count}"
+        timing = f"{group.total:.4f}s"
+        if group.count > 1:
+            timing += f"  (mean {group.total / group.count:.4f}s)"
+        lines.append(f"{prefix}{label:<{max(44 - len(prefix), 8)}} {timing}")
+        if max_depth is not None and depth + 1 >= max_depth:
+            return
+        grandchildren: "list[dict]" = []
+        for member in group.members:
+            grandchildren.extend(children.get(member["id"], []))
+        groups = _group_siblings(grandchildren)
+        for index, child in enumerate(groups):
+            last = index == len(groups) - 1
+            branch = "└─ " if last else "├─ "
+            cont = "   " if last else "│  "
+            emit(child, tail_prefix + branch, tail_prefix + cont, depth + 1)
+
+    for index, root in enumerate(_group_siblings(children.get(None, []))):
+        emit(root, "", "", 0)
+    return lines
+
+
+# ---------------------------------------------------------------------- #
+# events + counters
+# ---------------------------------------------------------------------- #
+
+
+def render_events(data: TraceData, top: int = 10) -> "list[str]":
+    """Events grouped by name, with a per-attribute breakdown for watchdogs."""
+    by_name: "dict[str, list[dict]]" = {}
+    for event in data.events:
+        by_name.setdefault(event.get("name", "?"), []).append(event)
+    lines = []
+    ranked = sorted(by_name.items(), key=lambda item: -len(item[1]))[:top]
+    for name, events in ranked:
+        lines.append(f"  {name} ×{len(events)}")
+        detail: "dict[str, int]" = {}
+        for event in events:
+            attrs = event.get("attrs", {})
+            if "scheduler" in attrs and "event" in attrs:
+                key = f"{attrs['scheduler']}/{attrs['event']}"
+            elif "kind" in attrs and "port" in attrs:
+                key = f"{attrs['kind']}@{attrs['port']}"
+            else:
+                continue
+            detail[key] = detail.get(key, 0) + 1
+        for key, count in sorted(detail.items(), key=lambda item: -item[1]):
+            lines.append(f"      {key} ×{count}")
+    return lines
+
+
+def render_counters(snapshot: dict, top: int = 10) -> "list[str]":
+    """Top-k counters (by value) and histograms (by count) as text lines."""
+    counters: "list[tuple[str, float]]" = []
+    histograms: "list[tuple[str, int, float]]" = []
+    for name, payload in (snapshot or {}).items():
+        for entry in payload.get("values", []):
+            labels = entry.get("labels") or {}
+            suffix = (
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            if payload.get("type") == "histogram":
+                histograms.append(
+                    (name + suffix, int(entry.get("count", 0)), float(entry.get("sum", 0.0)))
+                )
+            else:
+                counters.append((name + suffix, float(entry.get("value", 0.0))))
+    lines = []
+    for name, value in sorted(counters, key=lambda item: -item[1])[:top]:
+        rendered = f"{value:.6g}" if value != int(value) else str(int(value))
+        lines.append(f"  {name:<58} {rendered}")
+    for name, count, total in sorted(histograms, key=lambda item: -item[1])[:top]:
+        mean = total / count if count else 0.0
+        lines.append(f"  {name:<58} n={count} sum={total:.4f}s mean={mean:.4f}s")
+    return lines
+
+
+def render_summary(
+    data: TraceData, top: int = 10, max_depth: "int | None" = None
+) -> str:
+    """The full ``repro obs summarize`` report for one trace."""
+    meta = data.meta
+    header = (
+        f"trace format v{meta.get('format', '?')} — "
+        f"command: {meta.get('command', '?')}, "
+        f"{len(data.spans)} spans, {len(data.events)} events, "
+        f"wall {meta.get('wall_s', 0.0):.3f}s"
+    )
+    sections = [header]
+    if data.torn_lines:
+        sections.append(f"(warning: {data.torn_lines} torn trailing line(s) ignored)")
+    sections.append("")
+    sections.append("span tree (siblings aggregated by name)")
+    tree = render_span_tree(data, max_depth=max_depth)
+    sections.extend(tree if tree else ["  (no spans recorded)"])
+    if data.events:
+        sections.append("")
+        sections.append("events")
+        sections.extend(render_events(data, top=top))
+    if data.metrics:
+        sections.append("")
+        sections.append(f"top {top} counters")
+        sections.extend(render_counters(data.metrics, top=top))
+    return "\n".join(sections)

@@ -1,0 +1,312 @@
+"""Structured tracing: spans and events, serialized as JSONL.
+
+A *span* is a named, timed interval with free-form attributes and a parent
+(the span that was open when it began) — together they form the span tree
+``repro obs summarize`` renders.  An *event* is a point-in-time record
+attached to the currently open span (e.g. a scheduler watchdog trip or a
+composite-path release).
+
+Two tracer implementations share one interface:
+
+* :class:`NullTracer` — the process default.  ``enabled`` is ``False`` and
+  every method is a no-op, so instrumentation sites guard their work with
+  a single attribute check and the hot paths pay nothing when tracing is
+  off.
+* :class:`JsonlTracer` — buffers records in memory and dumps them as one
+  JSONL file through :func:`repro.utils.fileio.atomic_write_text` (a crash
+  never leaves a torn trace where a valid one used to be).
+
+Timestamps are seconds relative to the tracer's epoch (``time.perf_counter``
+at construction).  On Linux ``perf_counter`` is a system-wide monotonic
+clock, so spans recorded in a *forked* sweep worker and absorbed back into
+the parent tracer (see :meth:`Tracer.absorb`) live on the same time base.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.utils.fileio import atomic_write_text
+
+#: Version of the trace record envelope.
+TRACE_FORMAT: int = 1
+
+
+def _jsonable(value):
+    """Best-effort JSON coercion for attribute values (numpy scalars etc.)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def _clean_attrs(attrs: dict) -> dict:
+    return {key: _jsonable(value) for key, value in attrs.items()}
+
+
+class SpanHandle:
+    """Mutable handle of one open (or closed) span."""
+
+    __slots__ = ("record",)
+
+    def __init__(self, record: dict) -> None:
+        self.record = record
+
+    def set(self, **attrs) -> "SpanHandle":
+        """Attach attributes to the span (visible in the dumped trace)."""
+        self.record["attrs"].update(_clean_attrs(attrs))
+        return self
+
+
+class _NullSpan:
+    """Shared do-nothing span handle returned by the null tracer."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager pairing one ``begin`` with its ``end``."""
+
+    __slots__ = ("_tracer", "_handle")
+
+    def __init__(self, tracer: "JsonlTracer", handle: SpanHandle) -> None:
+        self._tracer = tracer
+        self._handle = handle
+
+    def __enter__(self) -> SpanHandle:
+        return self._handle
+
+    def __exit__(self, *exc) -> None:
+        self._tracer.end(self._handle)
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    The singleton :data:`NULL_TRACER` is the process default; call sites
+    check ``tracer.enabled`` once and skip their bookkeeping entirely.
+    """
+
+    enabled: bool = False
+
+    def begin(self, name: str, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def end(self, handle, **attrs) -> None:
+        return None
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        return None
+
+    def drain(self) -> "list[dict]":
+        return []
+
+    def absorb(self, records) -> None:
+        return None
+
+    def reset(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class JsonlTracer:
+    """In-memory span/event recorder with atomic JSONL persistence.
+
+    Parameters
+    ----------
+    clock:
+        Injection point for the time source (tests pass a fake); defaults
+        to :func:`time.perf_counter`.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._records: "list[dict]" = []
+        self._stack: "list[SpanHandle]" = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    @property
+    def current_span_id(self) -> "int | None":
+        return self._stack[-1].record["id"] if self._stack else None
+
+    def begin(self, name: str, **attrs) -> SpanHandle:
+        """Open a span; it becomes the parent of spans begun inside it."""
+        record = {
+            "kind": "span",
+            "id": self._next_id,
+            "parent": self.current_span_id,
+            "name": name,
+            "start": self._now(),
+            "end": None,
+            "attrs": _clean_attrs(attrs),
+        }
+        self._next_id += 1
+        handle = SpanHandle(record)
+        self._stack.append(handle)
+        return handle
+
+    def end(self, handle: SpanHandle, **attrs) -> None:
+        """Close ``handle`` (and any spans left open inside it)."""
+        if attrs:
+            handle.set(**attrs)
+        now = self._now()
+        while self._stack:
+            top = self._stack.pop()
+            top.record["end"] = now
+            self._records.append(top.record)
+            if top is handle:
+                return
+        # Foreign/stale handle: record it anyway rather than lose the data.
+        if handle.record.get("end") is None:
+            handle.record["end"] = now
+            self._records.append(handle.record)
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """``with tracer.span("name") as span: ...`` convenience wrapper."""
+        return _SpanContext(self, self.begin(name, **attrs))
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point-in-time event under the currently open span."""
+        self._records.append(
+            {
+                "kind": "event",
+                "name": name,
+                "span": self.current_span_id,
+                "t": self._now(),
+                "attrs": _clean_attrs(attrs),
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # cross-process plumbing
+    # ------------------------------------------------------------------ #
+
+    def drain(self) -> "list[dict]":
+        """Return and clear the closed records (open spans stay on the stack).
+
+        Used by forked sweep workers to ship their records back to the
+        parent over the result pipe.
+        """
+        records, self._records = self._records, []
+        return records
+
+    def absorb(self, records: "list[dict]") -> None:
+        """Merge records drained from another tracer (e.g. a fork worker).
+
+        Span ids are remapped onto this tracer's id space and parentless
+        spans are attached under the currently open span, so a worker's
+        engine/scheduler spans appear beneath the trial span that launched
+        it.
+        """
+        if not records:
+            return
+        idmap: "dict[int, int]" = {}
+        for record in records:
+            if record.get("kind") == "span":
+                idmap[record["id"]] = self._next_id
+                self._next_id += 1
+        graft = self.current_span_id
+        for record in records:
+            record = dict(record)
+            if record.get("kind") == "span":
+                record["id"] = idmap[record["id"]]
+                parent = record.get("parent")
+                record["parent"] = idmap.get(parent, graft) if parent is not None else graft
+            elif record.get("kind") == "event":
+                span = record.get("span")
+                record["span"] = idmap.get(span, graft) if span is not None else graft
+            self._records.append(record)
+
+    def reset(self) -> None:
+        """Forget everything recorded so far (fork workers call this first).
+
+        A forked worker inherits the parent's buffered records and open
+        stack; resetting keeps its drain limited to its own work.
+        """
+        self._records = []
+        self._stack = []
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def records(self) -> "list[dict]":
+        """Closed records in end order (open spans not included)."""
+        return list(self._records)
+
+    def dump(
+        self,
+        path: "str | Path",
+        *,
+        meta: "dict | None" = None,
+        metrics_snapshot: "dict | None" = None,
+    ) -> Path:
+        """Atomically write the trace as JSONL.
+
+        Line 0 is a ``meta`` record (format version + free-form context);
+        open spans are closed at the current clock and flagged
+        ``"open": true``; an optional metrics snapshot rides along as a
+        final ``metrics`` record so one file feeds the whole summary.
+        """
+        now = self._now()
+        records = list(self._records)
+        for handle in self._stack:
+            record = dict(handle.record)
+            record["end"] = now
+            record["open"] = True
+            records.append(record)
+        lines = [
+            json.dumps(
+                {
+                    "kind": "meta",
+                    "format": TRACE_FORMAT,
+                    "wall_s": now,
+                    **_clean_attrs(meta or {}),
+                },
+                sort_keys=True,
+            )
+        ]
+        lines += [json.dumps(record, sort_keys=True, default=str) for record in records]
+        if metrics_snapshot is not None:
+            lines.append(
+                json.dumps(
+                    {"kind": "metrics", "snapshot": metrics_snapshot}, sort_keys=True
+                )
+            )
+        return atomic_write_text(path, "\n".join(lines) + "\n")

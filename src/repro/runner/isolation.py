@@ -23,6 +23,8 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
+from repro import obs
+
 
 @dataclass(frozen=True)
 class TrialSpec:
@@ -125,13 +127,32 @@ def run_inline(spec: TrialSpec) -> TrialOutcome:
     )
 
 
+def _obs_blob() -> "dict | None":
+    """The worker's observations, to ship back over the result pipe."""
+    if not obs.active():
+        return None
+    return {
+        "spans": obs.get_tracer().drain(),
+        "metrics": obs.get_metrics().snapshot(),
+    }
+
+
 def _subprocess_worker(conn, fn_path: str, kwargs: dict) -> None:
-    """Child-side entry point: run the trial, report through the pipe."""
+    """Child-side entry point: run the trial, report through the pipe.
+
+    Under the ``fork`` start method the worker inherits the parent's
+    installed observability backends: it clears the inherited records
+    first (so nothing is double-reported) and ships its own spans/metrics
+    back alongside the result for the parent to absorb.  Under ``spawn``
+    the module state is rebuilt with the null backends and the blob is
+    simply ``None``.
+    """
+    obs.reset_for_fork()
     try:
         payload = resolve_fn(fn_path)(**kwargs)
-        conn.send(("ok", payload))
+        conn.send(("ok", payload, _obs_blob()))
     except Exception as exc:  # noqa: BLE001
-        conn.send(("error", _error_dict(exc)))
+        conn.send(("error", _error_dict(exc), _obs_blob()))
     finally:
         conn.close()
 
@@ -210,7 +231,13 @@ def run_in_subprocess(
             },
             elapsed_s=elapsed,
         )
-    status, body = message
+    status, body, *rest = message
+    blob = rest[0] if rest else None
+    if blob:
+        # Graft the worker's spans under whatever span is open here (the
+        # runner's trial span) and fold its counters into ours.
+        obs.get_tracer().absorb(blob.get("spans") or [])
+        obs.get_metrics().merge(blob.get("metrics") or {})
     if status == "ok":
         return TrialOutcome(status="ok", payload=body, elapsed_s=elapsed)
     return TrialOutcome(status="error", error=body, elapsed_s=elapsed)

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro import obs
 from repro.runner.failures import TrialFailure, quarantine_trial
 from repro.runner.isolation import TrialOutcome, TrialSpec, run_in_subprocess, run_inline
 from repro.runner.journal import RunJournal
@@ -130,22 +131,43 @@ class SweepRunner:
                 result.skipped.add(spec.key)
                 continue
             self._run_one(spec, result)
+        if obs.active() and result.skipped:
+            obs.get_tracer().event(
+                "runner.resumed", sweep=sweep_name, trials=len(result.skipped)
+            )
+            obs.get_metrics().counter(
+                "runner_trials_resumed_total",
+                "trials restored from the journal without re-execution",
+            ).inc(len(result.skipped))
         return result
 
     def _run_one(self, spec: TrialSpec, result: SweepResult) -> None:
         delays = self.config.retry.delays()
         attempts = 0
         outcome: "TrialOutcome | None" = None
-        for attempt in range(self.config.retry.max_attempts):
-            attempts = attempt + 1
-            outcome = self._attempt(spec)
-            if outcome.ok:
-                break
-            if attempt < len(delays) and delays[attempt] > 0:
-                self.config.sleep(delays[attempt])
+        with obs.profiled(
+            "runner.trial", key=spec.key, experiment=spec.experiment
+        ) as span:
+            for attempt in range(self.config.retry.max_attempts):
+                attempts = attempt + 1
+                outcome = self._attempt(spec)
+                if outcome.ok:
+                    break
+                if attempt < len(delays) and delays[attempt] > 0:
+                    self.config.sleep(delays[attempt])
+            assert outcome is not None  # max_attempts >= 1 guarantees one attempt
+            span.set(status="ok" if outcome.ok else "failed", attempts=attempts)
 
         result.executed.add(spec.key)
-        assert outcome is not None  # max_attempts >= 1 guarantees one attempt
+        metrics = obs.get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "runner_trials_total", "trials executed (by final status)"
+            ).labels(status="ok" if outcome.ok else "failed").inc()
+            if attempts > 1:
+                metrics.counter(
+                    "runner_retries_total", "extra attempts beyond the first"
+                ).inc(attempts - 1)
         if outcome.ok:
             result.completed[spec.key] = outcome.payload
             self.journal.record_success(
@@ -161,6 +183,13 @@ class SweepRunner:
         )
         result.failures.append(failure)
         self.journal.record_failure(spec.key, failure.to_record(), attempts=attempts)
+        if obs.active():
+            obs.get_tracer().event(
+                "runner.quarantined", key=spec.key, attempts=attempts
+            )
+            metrics.counter(
+                "runner_quarantined_total", "trials that exhausted the retry budget"
+            ).inc()
 
 
 def specs_from_journal(journal: RunJournal) -> "list[TrialSpec]":

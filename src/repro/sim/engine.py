@@ -49,6 +49,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.sim.metrics import RateSegment, SimulationResult
 from repro.sim.rates import max_min_fair_rates
 from repro.switch.params import SwitchParams
@@ -111,6 +112,7 @@ class FluidEngine:
         self.served_eps = 0.0
         self.total_demand = float(demand.sum())
         self.released_composite = 0.0
+        self._dust_snaps = 0
         self._rebuild_support()
 
     # ------------------------------------------------------------------ #
@@ -217,6 +219,19 @@ class FluidEngine:
         residual[mask] = 0.0
         self.released_composite += released
         self._rebuild_support()
+        if obs.active():
+            obs.get_tracer().event(
+                "engine.composite_release", kind=kind, port=port, released_mb=released
+            )
+            metrics = obs.get_metrics()
+            metrics.counter(
+                "engine_composite_releases_total",
+                "composite paths failed over to the regular paths",
+            ).labels(kind=kind).inc()
+            metrics.counter(
+                "engine_composite_released_mb_total",
+                "volume (Mb) re-routed off dead composite paths",
+            ).inc(released)
         return released
 
     # ------------------------------------------------------------------ #
@@ -290,6 +305,26 @@ class FluidEngine:
                 positions = positions[keep]
                 partners = partners[keep]
             services.append((service.kind == "o2m", positions, partners))
+
+        # Phase-level observability: one span per run_phase call (never
+        # per-event — the event loop is the hot path).
+        obs_on = obs.active()
+        if obs_on:
+            tracer = obs.get_tracer()
+            span = (
+                tracer.begin(
+                    "engine.phase",
+                    duration=duration,
+                    circuits=int(circuit_pos.size),
+                    composites=len(services),
+                    eps_enabled=eps_enabled,
+                    clock_ms=self.clock,
+                )
+                if tracer.enabled
+                else None
+            )
+            segments_before = len(self.segments)
+            dust_before = self._dust_snaps
 
         # ---- gather residuals over the support -------------------------
         reg = self.regular[self._rows, self._cols]
@@ -427,6 +462,25 @@ class FluidEngine:
         self.regular[self._rows, self._cols] = reg
         self.composite[self._rows, self._cols] = comp
 
+        if obs_on:
+            events = len(self.segments) - segments_before
+            dust = self._dust_snaps - dust_before
+            if span is not None:
+                tracer.end(span, events=events, dust_snaps=dust, clock_ms=self.clock)
+            metrics = obs.get_metrics()
+            if metrics.enabled:
+                metrics.counter(
+                    "engine_phases_total", "run_phase() calls executed"
+                ).inc()
+                metrics.counter(
+                    "engine_events_total", "rate-change events across all phases"
+                ).inc(events)
+                if dust:
+                    metrics.counter(
+                        "engine_dust_snaps_total",
+                        "sub-tolerance residuals snapped to zero",
+                    ).inc(dust)
+
     def _snap_dust(
         self,
         reg: np.ndarray,
@@ -442,6 +496,7 @@ class FluidEngine:
         entry — far inside the conservation tolerance — and is deliberately
         not credited to any mechanism.
         """
+        self._dust_snaps += 1
         np.add(reg, comp, out=self._before)
         for residual, rate in ((reg, reg_rate), (comp, comp_rate)):
             served = rate > 0

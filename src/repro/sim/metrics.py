@@ -17,11 +17,14 @@ rate timeline (for windowed volume integrals).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.faults.plan import FaultSummary
+from repro.utils.validation import VOLUME_TOL
 
 
 @dataclass(frozen=True)
@@ -137,12 +140,22 @@ class SimulationResult:
 
     @property
     def finished(self) -> bool:
-        """Whether every demanded bit was delivered."""
-        return self.residual_total <= 1e-9
+        """Whether every demanded bit was delivered.
+
+        The cutoff is *relative* to the total demand (floored at the
+        absolute :data:`~repro.utils.validation.VOLUME_TOL`), matching
+        :meth:`check_conservation` — a petabit-scale run must not report
+        unfinished over accumulated float dust.
+        """
+        return self.residual_total <= VOLUME_TOL * max(1.0, self.total_demand)
 
     @property
     def delivered_fraction(self) -> float:
-        """Share of the demand delivered (1.0 when finished)."""
+        """Share of the demand delivered (1.0 when finished).
+
+        Zero-demand convention: 1.0 — an empty demand is vacuously fully
+        served.  :meth:`ocs_fraction_within` follows the same convention.
+        """
         if self.total_demand <= 0:
             return 1.0
         return 1.0 - self.residual_total / self.total_demand
@@ -156,7 +169,10 @@ class SimulationResult:
 
         The coflow abstraction (§1): a collection of flows sharing a
         completion time — the last flow's finish.  Returns 0.0 if the mask
-        selects no demanded entries.
+        selects no demanded entries, and ``math.inf`` if any selected flow
+        was still pending when the run ended (horizon-bounded executions):
+        a coflow whose flows never finished has no finite completion time,
+        and reporting 0.0 would silently rank it *best* in every figure.
         """
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != self.finish_times.shape:
@@ -164,7 +180,17 @@ class SimulationResult:
                 f"mask shape {mask.shape} != finish_times shape {self.finish_times.shape}"
             )
         selected = self.finish_times[mask]
-        selected = selected[~np.isnan(selected)]
+        pending = np.isnan(selected)
+        if pending.any() and self.residual is not None:
+            # nan finish + leftover volume = the flow never drained (as
+            # opposed to nan-because-never-demanded, which contributes 0).
+            if np.any(self.residual[mask][pending] > VOLUME_TOL):
+                obs.get_metrics().counter(
+                    "coflow_never_finished_total",
+                    "coflow_completion() calls whose mask held unfinished flows",
+                ).inc()
+                return math.inf
+        selected = selected[~pending]
         return float(selected.max()) if selected.size else 0.0
 
     # ------------------------------------------------------------------ #
@@ -190,9 +216,14 @@ class SimulationResult:
         """Fraction of the total demand the OCS delivered in [0, window].
 
         This is Eclipse's objective and the y-axis of Figures 6, 8 and 10.
+
+        Zero-demand convention: returns 1.0, like
+        :attr:`delivered_fraction` — an empty demand is vacuously fully
+        served (and ``finished`` is ``True``), so every "fraction of
+        demand" metric agrees on 1.0 rather than a mix of 0.0 and 1.0.
         """
         if self.total_demand <= 0:
-            return 0.0
+            return 1.0
         return self.ocs_volume_by(window) / self.total_demand
 
     def _integrate(self, time: float, rate_of) -> float:

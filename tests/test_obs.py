@@ -1,0 +1,480 @@
+"""Tests for the observability layer (``repro.obs``).
+
+Covers the tracer and metrics primitives, the null-backend defaults, the
+fork-worker span shipping, the scheduler/engine/runner instrumentation,
+the CLI flags, and — the load-bearing property — that an instrumented run
+is bit-identical to an uninstrumented one across random demand matrices
+and fault plans.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import obs
+from repro.cli import main
+from repro.core.scheduler import CpSwitchScheduler
+from repro.faults import FaultPlan
+from repro.hybrid.eclipse import EclipseScheduler
+from repro.hybrid.solstice import SolsticeScheduler
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.summarize import load_trace, render_summary
+from repro.obs.tracer import JsonlTracer, NULL_TRACER
+from repro.runner import SweepConfig, SweepRunner, TrialSpec
+from repro.runner.isolation import run_in_subprocess
+from repro.sim import simulate_cp, simulate_hybrid
+from repro.switch.params import SwitchParams
+
+N = 6
+PARAMS = SwitchParams(n_ports=N, eps_rate=10.0, ocs_rate=100.0, reconfig_delay=0.02)
+
+
+def demands():
+    return st.tuples(
+        arrays(np.float64, (N, N), elements=st.floats(0.0, 30.0, allow_nan=False, width=32)),
+        arrays(np.bool_, (N, N)),
+    ).map(lambda pair: pair[0] * pair[1])
+
+
+def plans():
+    rates = st.floats(0.0, 1.0, allow_nan=False)
+    return st.builds(
+        FaultPlan,
+        seed=st.integers(min_value=0, max_value=2**16),
+        reconfig_failure_rate=rates,
+        reconfig_straggle_rate=rates,
+        straggle_factor=st.floats(1.0, 8.0, allow_nan=False),
+        circuit_failure_rate=rates,
+        o2m_outage_rate=rates,
+        m2o_outage_rate=rates,
+        eps_degradation_rate=rates,
+        eps_degradation_factor=st.floats(0.1, 1.0, allow_nan=False),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# tracer primitives
+# ---------------------------------------------------------------------- #
+
+
+class TestTracer:
+    def test_nesting_parents(self):
+        tracer = JsonlTracer()
+        outer = tracer.begin("outer")
+        inner = tracer.begin("inner")
+        tracer.event("ping", value=1)
+        tracer.end(inner)
+        tracer.end(outer)
+        records = tracer.records()
+        by_name = {r["name"]: r for r in records}
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["outer"]["parent"] is None
+        assert by_name["ping"]["span"] == by_name["inner"]["id"]
+
+    def test_span_context_manager(self):
+        tracer = JsonlTracer()
+        with tracer.span("block") as span:
+            span.set(items=3)
+        (record,) = tracer.records()
+        assert record["attrs"]["items"] == 3
+        assert record["end"] >= record["start"]
+
+    def test_end_closes_orphans(self):
+        tracer = JsonlTracer()
+        outer = tracer.begin("outer")
+        tracer.begin("leaked")
+        tracer.end(outer)  # must close "leaked" too
+        assert {r["name"] for r in tracer.records()} == {"outer", "leaked"}
+        assert tracer.current_span_id is None
+
+    def test_numpy_attrs_are_json_safe(self, tmp_path):
+        tracer = JsonlTracer()
+        with tracer.span("s") as span:
+            span.set(count=np.int64(3), volume=np.float64(1.5), flag=np.bool_(True))
+        path = tracer.dump(tmp_path / "t.jsonl")
+        for line in path.read_text().splitlines():
+            json.loads(line)  # every record round-trips
+
+    def test_dump_roundtrip_and_open_span_flag(self, tmp_path):
+        tracer = JsonlTracer()
+        tracer.begin("still-open")
+        with tracer.span("closed"):
+            tracer.event("e")
+        path = tracer.dump(tmp_path / "t.jsonl", meta={"command": "test"})
+        data = load_trace(path)
+        assert data.meta["command"] == "test"
+        assert {s["name"] for s in data.spans} == {"still-open", "closed"}
+        open_spans = [s for s in data.spans if s.get("open")]
+        assert [s["name"] for s in open_spans] == ["still-open"]
+        assert len(data.events) == 1
+
+    def test_absorb_remaps_and_grafts(self):
+        worker = JsonlTracer()
+        w_outer = worker.begin("w.outer")
+        worker.begin("w.inner")
+        worker.event("w.event")
+        worker.end(w_outer)  # closes inner too
+        parent = JsonlTracer()
+        trial = parent.begin("trial")
+        parent.absorb(worker.drain())
+        parent.end(trial)
+        data = {r["name"]: r for r in parent.records()}
+        assert data["w.outer"]["parent"] == data["trial"]["id"]
+        assert data["w.inner"]["parent"] == data["w.outer"]["id"]
+        assert data["w.event"]["span"] == data["w.inner"]["id"]
+        ids = [r["id"] for r in parent.records() if r["kind"] == "span"]
+        assert len(ids) == len(set(ids))
+
+    def test_null_tracer_is_inert(self):
+        handle = NULL_TRACER.begin("x")
+        handle.set(anything=1)
+        NULL_TRACER.end(handle)
+        NULL_TRACER.event("y")
+        assert NULL_TRACER.drain() == []
+        assert NULL_TRACER.enabled is False
+
+
+# ---------------------------------------------------------------------- #
+# metrics primitives
+# ---------------------------------------------------------------------- #
+
+
+class TestMetrics:
+    def test_counter_labels_and_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total").labels(kind="a").inc()
+        registry.counter("hits_total").labels(kind="a").inc(2)
+        registry.counter("hits_total").labels(kind="b").inc()
+        values = {
+            tuple(sorted(v["labels"].items())): v["value"]
+            for v in registry.snapshot()["hits_total"]["values"]
+        }
+        assert values[(("kind", "a"),)] == 3.0
+        assert values[(("kind", "b"),)] == 1.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_histogram_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            h.observe(value)
+        (entry,) = registry.snapshot()["lat"]["values"]
+        assert entry["count"] == 3
+        assert entry["bucket_counts"] == [1, 1, 1]
+        assert entry["sum"] == pytest.approx(5.55)
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n_total").inc(2)
+        b.counter("n_total").inc(3)
+        b.gauge("level").set(7.0)
+        b.histogram("lat", buckets=(1.0,)).observe(0.5)
+        a.merge(b.snapshot())
+        snapshot = a.snapshot()
+        assert snapshot["n_total"]["values"][0]["value"] == 5.0
+        assert snapshot["level"]["values"][0]["value"] == 7.0
+        assert snapshot["lat"]["values"][0]["count"] == 1
+
+    def test_null_registry_is_inert(self):
+        registry = obs.get_metrics()
+        assert registry.enabled is False
+        registry.counter("anything").labels(a=1).inc()
+        assert registry.snapshot() == {}
+
+
+# ---------------------------------------------------------------------- #
+# defaults + helpers
+# ---------------------------------------------------------------------- #
+
+
+class TestObsDefaults:
+    def test_defaults_are_null(self):
+        assert obs.get_tracer().enabled is False
+        assert obs.get_metrics().enabled is False
+        assert obs.active() is False
+
+    def test_observability_installs_and_restores(self):
+        tracer, registry = JsonlTracer(), MetricsRegistry()
+        with obs.observability(tracer=tracer, metrics=registry):
+            assert obs.get_tracer() is tracer
+            assert obs.get_metrics() is registry
+            assert obs.active()
+        assert not obs.active()
+
+    def test_profiled_records_span_and_histogram(self):
+        tracer, registry = JsonlTracer(), MetricsRegistry()
+        with obs.observability(tracer=tracer, metrics=registry):
+            with obs.profiled("work.unit", n=4) as span:
+                span.set(status="ok")
+        (record,) = tracer.records()
+        assert record["name"] == "work.unit"
+        assert record["attrs"] == {"n": 4, "status": "ok"}
+        (entry,) = registry.snapshot()["phase_seconds"]["values"]
+        assert entry["labels"] == {"name": "work.unit"}
+        assert entry["count"] == 1
+
+    def test_profiled_is_noop_when_off(self):
+        with obs.profiled("anything") as span:
+            span.set(ignored=True)  # null handle accepts everything
+
+
+# ---------------------------------------------------------------------- #
+# instrumentation sites
+# ---------------------------------------------------------------------- #
+
+
+def _demand(seed=0):
+    rng = np.random.default_rng(seed)
+    demand = rng.uniform(0.0, 40.0, (N, N))
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+class TestInstrumentation:
+    def test_engine_and_solstice_spans(self):
+        demand = _demand()
+        tracer, registry = JsonlTracer(), MetricsRegistry()
+        with obs.observability(tracer=tracer, metrics=registry):
+            schedule = SolsticeScheduler().schedule(demand, PARAMS)
+            simulate_hybrid(demand, schedule, PARAMS)
+        names = {r["name"] for r in tracer.records()}
+        assert "solstice.schedule" in names
+        assert "solstice.stuffing" in names
+        assert "engine.phase" in names
+        snapshot = registry.snapshot()
+        assert snapshot["engine_phases_total"]["values"][0]["value"] > 0
+        assert snapshot["solstice_slices_total"]["values"][0]["value"] > 0
+
+    def test_cp_pipeline_spans(self):
+        demand = _demand(1)
+        tracer = JsonlTracer()
+        with obs.observability(tracer=tracer):
+            CpSwitchScheduler(SolsticeScheduler()).schedule(demand, PARAMS)
+        by_name = {r["name"]: r for r in tracer.records()}
+        for stage in ("cpsched.reduce", "cpsched.inner", "cpsched.interpret"):
+            assert stage in by_name
+        # The inner h-Switch scheduler's span nests under cpsched.inner.
+        assert by_name["solstice.schedule"]["parent"] == by_name["cpsched.inner"]["id"]
+
+    def test_eclipse_watchdog_event(self):
+        demand = _demand(2)
+        tracer, registry = JsonlTracer(), MetricsRegistry()
+        with obs.observability(tracer=tracer, metrics=registry):
+            EclipseScheduler(max_steps=0).schedule(demand, PARAMS)
+        events = [r for r in tracer.records() if r["kind"] == "event"]
+        watchdog = [e for e in events if e["name"] == "scheduler.watchdog"]
+        assert watchdog and watchdog[0]["attrs"]["event"] == "step-cap"
+        assert watchdog[0]["attrs"]["scheduler"] == "eclipse"
+        (entry,) = registry.snapshot()["scheduler_watchdog_trips_total"]["values"]
+        assert entry["labels"] == {"scheduler": "eclipse", "event": "step-cap"}
+        assert entry["value"] == 1.0
+
+    def test_composite_release_event(self):
+        from repro.sim.engine import FluidEngine
+
+        demand = np.zeros((N, N))
+        demand[0, 1:4] = 10.0
+        engine = FluidEngine(demand, PARAMS)
+        filtered = np.zeros_like(demand)
+        filtered[0, 1:4] = 10.0
+        engine.assign_composite(filtered)
+        tracer, registry = JsonlTracer(), MetricsRegistry()
+        with obs.observability(tracer=tracer, metrics=registry):
+            released = engine.release_composite("o2m", 0)
+        assert released == pytest.approx(30.0)
+        (event,) = [r for r in tracer.records() if r["kind"] == "event"]
+        assert event["name"] == "engine.composite_release"
+        assert event["attrs"]["released_mb"] == pytest.approx(30.0)
+        snapshot = registry.snapshot()
+        assert snapshot["engine_composite_released_mb_total"]["values"][0][
+            "value"
+        ] == pytest.approx(30.0)
+
+
+# ---------------------------------------------------------------------- #
+# runner integration
+# ---------------------------------------------------------------------- #
+
+
+def _trial_fn(volume: float = 10.0) -> dict:
+    demand = np.zeros((N, N))
+    demand[0, 1] = volume
+    schedule = SolsticeScheduler().schedule(demand, PARAMS)
+    result = simulate_hybrid(demand, schedule, PARAMS)
+    return {"completion": result.completion_time}
+
+
+class TestRunnerObservability:
+    def test_inline_trial_spans_join_journal_keys(self):
+        specs = [
+            TrialSpec(experiment="exp", key=f"exp:{i}", fn="tests.test_obs:_trial_fn")
+            for i in range(2)
+        ]
+        tracer, registry = JsonlTracer(), MetricsRegistry()
+        with obs.observability(tracer=tracer, metrics=registry):
+            result = SweepRunner(config=SweepConfig(isolation="inline")).run(specs)
+        assert len(result.completed) == 2
+        trials = [r for r in tracer.records() if r["name"] == "runner.trial"]
+        assert {t["attrs"]["key"] for t in trials} == {"exp:0", "exp:1"}
+        assert all(t["attrs"]["status"] == "ok" for t in trials)
+        # Inline trials run in-process: engine spans nest under the trial.
+        engine_spans = [r for r in tracer.records() if r["name"] == "engine.phase"]
+        trial_ids = {t["id"] for t in trials}
+        assert engine_spans and all(s["parent"] in trial_ids for s in engine_spans)
+        (entry,) = registry.snapshot()["runner_trials_total"]["values"]
+        assert entry["labels"] == {"status": "ok"} and entry["value"] == 2.0
+
+    def test_subprocess_trial_ships_spans_back(self):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        spec = TrialSpec(experiment="exp", key="exp:0", fn="tests.test_obs:_trial_fn")
+        tracer, registry = JsonlTracer(), MetricsRegistry()
+        with obs.observability(tracer=tracer, metrics=registry):
+            with obs.profiled("runner.trial", key=spec.key):
+                outcome = run_in_subprocess(spec, timeout_s=60.0)
+        assert outcome.ok
+        records = tracer.records()
+        by_name = {r["name"]: r for r in records}
+        # The worker's scheduler/engine spans were absorbed and grafted
+        # under the parent's trial span.
+        assert by_name["engine.phase"]["parent"] == by_name["runner.trial"]["id"]
+        assert by_name["solstice.schedule"]["parent"] == by_name["runner.trial"]["id"]
+        # And its counters merged into the parent registry.
+        snapshot = registry.snapshot()
+        assert snapshot["engine_phases_total"]["values"][0]["value"] > 0
+
+    def test_quarantine_counter(self, tmp_path):
+        specs = [
+            TrialSpec(
+                experiment="exp", key="exp:bad", fn="tests.test_obs:_no_such_fn"
+            )
+        ]
+        registry = MetricsRegistry()
+        config = SweepConfig(isolation="inline", sleep=lambda s: None)
+        with obs.observability(metrics=registry):
+            result = SweepRunner(config=config).run(specs)
+        assert result.n_failed == 1
+        snapshot = registry.snapshot()
+        assert snapshot["runner_quarantined_total"]["values"][0]["value"] == 1.0
+        assert snapshot["runner_retries_total"]["values"][0]["value"] == 2.0
+        (entry,) = [
+            v
+            for v in snapshot["runner_trials_total"]["values"]
+            if v["labels"].get("status") == "failed"
+        ]
+        assert entry["value"] == 1.0
+
+
+# ---------------------------------------------------------------------- #
+# bit-identity: instrumented == uninstrumented
+# ---------------------------------------------------------------------- #
+
+
+def _assert_identical(plain, traced):
+    np.testing.assert_array_equal(plain.finish_times, traced.finish_times)
+    assert plain.completion_time == traced.completion_time or (
+        np.isnan(plain.completion_time) and np.isnan(traced.completion_time)
+    )
+    assert plain.n_configs == traced.n_configs
+    assert plain.makespan == traced.makespan
+    assert plain.served_ocs_direct == traced.served_ocs_direct
+    assert plain.served_composite == traced.served_composite
+    assert plain.served_eps == traced.served_eps
+    assert plain.released_composite == traced.released_composite
+    assert len(plain.segments) == len(traced.segments)
+
+
+class TestBitIdentity:
+    @given(demand=demands(), plan=plans())
+    @settings(max_examples=25, deadline=None)
+    def test_instrumented_run_is_bit_identical(self, demand, plan):
+        scheduler = SolsticeScheduler()
+        h_schedule = scheduler.schedule(demand, PARAMS)
+        cp_schedule = CpSwitchScheduler(scheduler).schedule(demand, PARAMS)
+        h_plain = simulate_hybrid(demand, h_schedule, PARAMS, faults=plan)
+        cp_plain = simulate_cp(demand, cp_schedule, PARAMS, faults=plan)
+
+        tracer, registry = JsonlTracer(), MetricsRegistry()
+        with obs.observability(tracer=tracer, metrics=registry):
+            instrumented = SolsticeScheduler()
+            h_schedule_t = instrumented.schedule(demand, PARAMS)
+            cp_schedule_t = CpSwitchScheduler(instrumented).schedule(demand, PARAMS)
+            h_traced = simulate_hybrid(demand, h_schedule_t, PARAMS, faults=plan)
+            cp_traced = simulate_cp(demand, cp_schedule_t, PARAMS, faults=plan)
+
+        _assert_identical(h_plain, h_traced)
+        _assert_identical(cp_plain, cp_traced)
+
+
+# ---------------------------------------------------------------------- #
+# CLI end to end
+# ---------------------------------------------------------------------- #
+
+
+class TestCli:
+    def test_compare_trace_and_summarize(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "compare",
+                "--radix", "8",
+                "--trials", "2",
+                "--workload", "skewed",
+                "--no-journal",
+                "--isolation", "inline",
+                "--trace", str(trace),
+                "--metrics", str(metrics),
+            ]
+        )
+        assert code == 0
+        assert trace.exists() and metrics.exists()
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["runner_trials_total"]["values"][0]["value"] == 2.0
+        data = load_trace(trace)
+        names = {s["name"] for s in data.spans}
+        assert {"repro.compare", "runner.trial", "engine.phase"} <= names
+        assert data.metrics  # snapshot embedded in the trace
+        capsys.readouterr()
+
+        code = main(["obs", "summarize", str(trace), "--top", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro.compare" in out
+        assert "runner.trial" in out
+        assert "engine_phases_total" in out
+
+    def test_summarize_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["obs", "summarize", str(tmp_path / "nope.jsonl")])
+
+    def test_trace_off_by_default(self, tmp_path, capsys):
+        code = main(
+            [
+                "compare",
+                "--radix", "8",
+                "--trials", "1",
+                "--no-journal",
+                "--isolation", "inline",
+            ]
+        )
+        assert code == 0
+        assert not obs.active()
+        capsys.readouterr()

@@ -8,10 +8,16 @@ work):
 2. SIGKILL it as soon as the journal holds at least one completed trial
    (mid-sweep, no chance to clean up);
 3. ``python -m repro sweep --resume <journal>`` to finish the remainder;
-4. run the identical sweep uninterrupted into a second journal;
+4. run the identical sweep uninterrupted into a second journal — with
+   ``--no-heartbeat``, so step 5's comparison also proves live monitoring
+   never perturbs results (bit-identical journals, monitoring on vs. off);
 5. assert the merged journal matches the uninterrupted one bit-for-bit on
    every deterministic payload field, and that no completed trial was
    re-executed (each key has exactly one trial record).
+
+Between steps 2 and 3, ``python -m repro obs watch`` is rendered against
+the half-finished journal (the live-monitoring path: progress bar, counts,
+heartbeat directory) and must exit 0.
 
 Wall-clock fields (``sched_seconds``, ``elapsed_s``) are scrubbed before
 comparison — they measure the host, not the experiment.
@@ -127,6 +133,23 @@ def main(argv=None) -> int:
         return 1
     print(f"killed mid-sweep with {len(survived)}/{args.trials} trials journaled")
 
+    # 2.5. Live monitoring against the half-finished journal: `obs watch`
+    # must render progress (bar + done counts) from the journal the kill
+    # left behind, exit 0, and — being a pure reader — change nothing.
+    watch = subprocess.run(
+        [sys.executable, "-m", "repro", "obs", "watch", str(interrupted)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if watch.returncode != 0:
+        print(f"FAIL: obs watch exited {watch.returncode}\n{watch.stderr}", file=sys.stderr)
+        return 1
+    if f"{len(survived)}/{args.trials} done" not in watch.stdout:
+        print(f"FAIL: obs watch did not render progress:\n{watch.stdout}", file=sys.stderr)
+        return 1
+    print(f"obs watch renders: {watch.stdout.splitlines()[1]}")
+
     # 3. Resume the interrupted journal.
     resume = subprocess.run(
         [sys.executable, "-m", "repro", "sweep", "--resume", str(interrupted)],
@@ -138,9 +161,11 @@ def main(argv=None) -> int:
         print(f"FAIL: resume exited {resume.returncode}\n{resume.stderr}", file=sys.stderr)
         return 1
 
-    # 4. Uninterrupted reference run of the identical sweep.
+    # 4. Uninterrupted reference run of the identical sweep, heartbeats
+    # off: step 5b comparing it bit-for-bit against the monitored run is
+    # the monitoring-on-vs-off identity assertion.
     ref = subprocess.run(
-        sweep_cmd + ["--journal", str(reference)],
+        sweep_cmd + ["--journal", str(reference), "--no-heartbeat"],
         env=env,
         capture_output=True,
         text=True,

@@ -35,6 +35,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core.scheduler import CpSwitchScheduler
 from repro.faults.plan import FaultPlan
 from repro.hybrid.base import HybridScheduler
@@ -161,7 +162,9 @@ class EpochController:
         """
         demand = self._voqs.occupancy.copy()
         offered = float(demand.sum())
-        result = self._execute(demand, epoch)
+        with obs.profiled("controller.epoch", epoch=epoch) as epoch_span:
+            result = self._execute(demand, epoch)
+            epoch_span.set(offered_mb=offered, configs=result.n_configs)
         residual = result.residual if result.residual is not None else np.zeros_like(demand)
         served = np.maximum(demand - residual, 0.0)
         self._voqs.serve_matrix(served)
@@ -193,6 +196,31 @@ class EpochController:
             self.journal.append(
                 {"kind": "epoch", "report": asdict(report), "diagnostics": diagnostics}
             )
+        if obs.active():
+            # Per-epoch schedule-quality audit (deterministic for a seeded
+            # arrival process): what the closed loop decided and carried.
+            obs.get_tracer().event(
+                "controller.epoch",
+                epoch=epoch,
+                offered_mb=offered,
+                served_mb=report.served_volume,
+                backlog_mb=report.backlog_after,
+                stranded_mb=report.stranded_volume,
+                configs=report.n_configs,
+                dead_ports=len(report.dead_o2m) + len(report.dead_m2o),
+            )
+            metrics = obs.get_metrics()
+            if metrics.enabled:
+                metrics.counter(
+                    "controller_epochs_total", "control epochs executed"
+                ).inc()
+                metrics.counter(
+                    "controller_stranded_mb_total",
+                    "volume (Mb) scheduled but not delivered, carried over",
+                ).inc(report.stranded_volume)
+                metrics.gauge(
+                    "controller_backlog_mb", "VOQ backlog after the latest epoch"
+                ).set(report.backlog_after)
         return report, result
 
     def run(self, arrivals: ArrivalProcess, n_epochs: int) -> "list[EpochReport]":

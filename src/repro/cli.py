@@ -76,10 +76,14 @@ from repro.runner import (
     SweepRunner,
     specs_from_journal,
 )
-from repro.obs.summarize import load_trace, render_summary
+from repro.obs.summarize import (
+    TraceParseError,
+    load_trace_or_snapshot,
+    render_summary,
+)
 from repro.sim import simulate_cp, simulate_hybrid
 from repro.switch.params import SwitchParams, ocs_params
-from repro.utils.fileio import atomic_write_json
+from repro.utils.fileio import atomic_write_json, atomic_write_text
 from repro.utils.validation import check_demand_matrix
 
 WORKLOADS = ("skewed", "background", "typical", "intensive", "varying")
@@ -154,6 +158,7 @@ def _sweep_config(args) -> SweepConfig:
             base_delay=getattr(args, "retry_base_delay", 0.1),
         ),
         isolation=getattr(args, "isolation", "subprocess"),
+        heartbeat=not getattr(args, "no_heartbeat", False),
     )
 
 
@@ -468,12 +473,148 @@ def cmd_sweep(args) -> int:
     return 0
 
 
-def cmd_obs_summarize(args) -> int:
-    path = Path(args.trace_file)
+def _load_obs_file(path: "str | Path", command: str):
+    """Load a trace/snapshot for an obs subcommand with one-line errors."""
+    path = Path(path)
     if not path.exists():
-        raise SystemExit(f"obs summarize: trace file {path} does not exist")
-    data = load_trace(path)
+        raise SystemExit(f"obs {command}: file {path} does not exist")
+    try:
+        return load_trace_or_snapshot(path)
+    except TraceParseError as exc:
+        raise SystemExit(f"obs {command}: {exc}") from None
+
+
+def cmd_obs_summarize(args) -> int:
+    data = _load_obs_file(args.trace_file, "summarize")
     print(render_summary(data, top=args.top, max_depth=args.depth))
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    from repro.obs.diff import diff_traces, diff_to_json, render_diff
+
+    a = _load_obs_file(args.trace_a, "diff")
+    b = _load_obs_file(args.trace_b, "diff")
+    diff = diff_traces(a, b)
+    print(render_diff(diff, top=args.top))
+    if args.json:
+        atomic_write_json(diff_to_json(diff), args.json)
+        print(f"diff JSON written to {args.json}", file=sys.stderr)
+    if args.fail_on_drift and diff.has_quality_drift:
+        print(
+            f"obs diff: {len(diff.quality_drift)} schedule-quality metric(s) "
+            "drifted (--fail-on-drift)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_obs_watch(args) -> int:
+    from repro.obs.watch import watch
+
+    path = Path(args.journal)
+    if not path.exists():
+        raise SystemExit(f"obs watch: journal {path} does not exist")
+    try:
+        watch(path, follow=args.follow, interval_s=args.interval)
+    except ValueError as exc:
+        raise SystemExit(f"obs watch: {exc}") from None
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+def cmd_obs_export(args) -> int:
+    from repro.obs.export import render_openmetrics
+
+    data = _load_obs_file(args.source, "export")
+    if not data.metrics:
+        raise SystemExit(
+            f"obs export: {args.source} carries no metrics snapshot — "
+            "record one with --metrics (or --trace, which embeds it)"
+        )
+    text = render_openmetrics(data.metrics)
+    if args.out:
+        atomic_write_text(args.out, text)
+        print(f"openmetrics written to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _parse_point_axes(args) -> "tuple[tuple[int, ...], tuple[str, ...]]":
+    radices = tuple(int(part) for part in args.radices.split(","))
+    schedulers = tuple(part.strip() for part in args.schedulers.split(","))
+    for scheduler in schedulers:
+        if scheduler not in ("solstice", "eclipse"):
+            raise SystemExit(
+                f"obs baseline: unknown scheduler {scheduler!r} "
+                "(choose from solstice, eclipse)"
+            )
+    if getattr(args, "quick", False):
+        radices = (min(radices),)
+    return radices, schedulers
+
+
+def cmd_obs_baseline_record(args) -> int:
+    from repro.obs.baseline import record_baseline, write_baseline
+
+    radices, schedulers = _parse_point_axes(args)
+    repeats = 1 if args.quick else args.repeats
+    trials = 1 if args.quick else args.trials
+    payload = record_baseline(
+        radices=radices,
+        schedulers=schedulers,
+        ocs=args.ocs,
+        n_trials=trials,
+        seed=args.seed,
+        repeats=repeats,
+    )
+    write_baseline(payload, args.out)
+    total = sum(point["timing_s"]["total"] for point in payload["points"])
+    print(
+        f"recorded {len(payload['points'])} baseline point(s) "
+        f"({total:.2f}s pipeline time) to {args.out}"
+    )
+    return 0
+
+
+def cmd_obs_check(args) -> int:
+    from repro.obs.baseline import check_baseline, load_baseline, measure_like
+
+    path = Path(args.baseline)
+    if not path.exists():
+        raise SystemExit(
+            f"obs check: baseline {path} does not exist — record one with "
+            "`python -m repro obs baseline record`"
+        )
+    try:
+        baseline = load_baseline(path)
+    except ValueError as exc:
+        raise SystemExit(f"obs check: {exc}") from None
+    if args.current:
+        try:
+            current = load_baseline(args.current)
+        except ValueError as exc:
+            raise SystemExit(f"obs check: {exc}") from None
+    else:
+        current = measure_like(baseline)
+    violations = check_baseline(
+        baseline, current, tolerance=args.tolerance, min_seconds=args.min_seconds
+    )
+    if violations:
+        print(
+            f"obs check: {len(violations)} violation(s) against {path}:",
+            file=sys.stderr,
+        )
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print(
+        f"obs check: {len(baseline.get('points', []))} point(s) within "
+        f"{args.tolerance * 100:.0f}% of {path}, no schedule-quality drift"
+    )
     return 0
 
 
@@ -487,13 +628,20 @@ def _add_obs_args(p) -> None:
     group.add_argument(
         "--trace",
         metavar="PATH",
+        nargs="?",
+        const="auto",
         help="record spans/events to this JSONL file (render it with "
-        "`python -m repro obs summarize PATH`)",
+        "`python -m repro obs summarize PATH`); without a path, defaults "
+        "to <command>-trace.jsonl under --run-dir / $REPRO_RUN_DIR",
     )
     group.add_argument(
         "--metrics",
         metavar="PATH",
-        help="write the metrics-registry snapshot to this JSON file",
+        nargs="?",
+        const="auto",
+        help="write the metrics-registry snapshot to this JSON file; "
+        "without a path, defaults to <command>-metrics.json under "
+        "--run-dir / $REPRO_RUN_DIR",
     )
 
 
@@ -547,6 +695,11 @@ def _add_runner_args(p) -> None:
         default="subprocess",
         help="run trials in subprocess workers (hang/crash-proof, default) "
         "or inline (debuggable)",
+    )
+    group.add_argument(
+        "--no-heartbeat",
+        action="store_true",
+        help="skip the <journal>.hb/ heartbeat files `repro obs watch` tails",
     )
 
 
@@ -669,14 +822,141 @@ def build_parser() -> argparse.ArgumentParser:
         "--depth", type=int, default=None, help="maximum span-tree depth (default: unlimited)"
     )
     summarize.set_defaults(func=cmd_obs_summarize)
+
+    diff = obs_sub.add_parser(
+        "diff",
+        help="align two runs' span trees by path; report timing deltas and "
+        "schedule-quality drift",
+    )
+    diff.add_argument("trace_a", help="baseline trace (or --metrics snapshot)")
+    diff.add_argument("trace_b", help="comparison trace (or --metrics snapshot)")
+    diff.add_argument(
+        "--json", metavar="PATH", help="also write the machine-readable diff here"
+    )
+    diff.add_argument(
+        "--top", type=int, default=10, help="counter/histogram deltas to show (default: 10)"
+    )
+    diff.add_argument(
+        "--fail-on-drift",
+        action="store_true",
+        help="exit nonzero if any schedule-quality counter differs",
+    )
+    diff.set_defaults(func=cmd_obs_diff)
+
+    watch = obs_sub.add_parser(
+        "watch",
+        help="tail a sweep journal + heartbeats: progress, ETA, stragglers",
+    )
+    watch.add_argument("journal", help="sweep journal (heartbeats in <journal>.hb/)")
+    watch.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep rendering until the sweep completes (Ctrl-C to stop)",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh interval with --follow (default: 2)",
+    )
+    watch.set_defaults(func=cmd_obs_watch)
+
+    export = obs_sub.add_parser(
+        "export",
+        help="render a metrics snapshot as a Prometheus/OpenMetrics textfile",
+    )
+    export.add_argument("source", help="--metrics snapshot JSON or --trace JSONL")
+    export.add_argument(
+        "--format",
+        choices=("openmetrics",),
+        default="openmetrics",
+        help="output format (default: openmetrics)",
+    )
+    export.add_argument(
+        "--out", metavar="PATH", help="write here instead of stdout"
+    )
+    export.set_defaults(func=cmd_obs_export)
+
+    baseline = obs_sub.add_parser(
+        "baseline", help="record perf + schedule-quality baselines (BENCH_obs.json)"
+    )
+    baseline_sub = baseline.add_subparsers(dest="baseline_command", required=True)
+    record = baseline_sub.add_parser(
+        "record", help="measure the live pipeline and write the baseline file"
+    )
+    record.add_argument(
+        "--out", default="BENCH_obs.json", help="baseline path (default: BENCH_obs.json)"
+    )
+    record.add_argument("--radices", default="32,64,128", help="comma-separated radices")
+    record.add_argument(
+        "--schedulers", default="solstice,eclipse", help="comma-separated schedulers"
+    )
+    record.add_argument("--ocs", choices=("fast", "slow"), default="fast")
+    record.add_argument("--trials", type=int, default=2, help="trials per point (default: 2)")
+    record.add_argument("--repeats", type=int, default=2, help="timing repeats (default: 2)")
+    record.add_argument("--seed", type=int, default=2016)
+    record.add_argument(
+        "--quick",
+        action="store_true",
+        help="smallest radix only, 1 trial, 1 repeat (CI in-job baseline)",
+    )
+    record.set_defaults(func=cmd_obs_baseline_record)
+
+    check = obs_sub.add_parser(
+        "check",
+        help="re-measure and gate against a baseline: nonzero exit on timing "
+        "regression or any schedule-quality drift",
+    )
+    check.add_argument(
+        "--baseline", required=True, metavar="PATH", help="BENCH_obs.json to gate against"
+    )
+    check.add_argument(
+        "--current",
+        metavar="PATH",
+        help="compare this pre-recorded measurement instead of measuring now",
+    )
+    check.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative timing-regression tolerance (default: 0.25)",
+    )
+    check.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.01,
+        help="ignore stages cheaper than this in the baseline (default: 0.01)",
+    )
+    check.set_defaults(func=cmd_obs_check)
     return parser
+
+
+def _resolve_obs_path(value, args, suffix: str) -> "str | None":
+    """Resolve a ``--trace``/``--metrics`` value, defaulting into the run dir.
+
+    The bare flag (``--trace`` with no path) parses as ``"auto"`` and lands
+    next to the sweep's journal — ``<command>-<suffix>`` under ``--run-dir``
+    / ``$REPRO_RUN_DIR`` — so one directory holds everything ``obs watch``
+    and ``obs diff`` need.
+    """
+    if not value:
+        return None
+    if value != "auto":
+        return value
+    run_dir = (
+        Path(args.run_dir) if getattr(args, "run_dir", None) else default_run_dir()
+    )
+    return str(run_dir / f"{args.command}-{suffix}")
 
 
 def main(argv: "list[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    trace_path = getattr(args, "trace", None)
-    metrics_path = getattr(args, "metrics", None)
+    trace_path = _resolve_obs_path(getattr(args, "trace", None), args, "trace.jsonl")
+    metrics_path = _resolve_obs_path(
+        getattr(args, "metrics", None), args, "metrics.json"
+    )
     if not trace_path and not metrics_path:
         return args.func(args)
 

@@ -239,6 +239,39 @@ class CpSwitchScheduler:
                 )
             interpret_span.set(configs=len(entries))
 
+        if obs.active():
+            # Schedule-quality audit: what Algorithm 4 decided, not how
+            # fast — deterministic for a seeded run, so ``repro obs diff``
+            # and the BENCH_obs gate treat any change as drift.
+            o2m_grants = sum(1 for e in entries if e.o2m_port is not None)
+            m2o_grants = sum(1 for e in entries if e.m2o_port is not None)
+            composite_mb = float(sum(e.composite_served.sum() for e in entries))
+            obs.get_tracer().event(
+                "cpsched.audit",
+                n=n,
+                configs=len(entries),
+                o2m_grants=o2m_grants,
+                m2o_grants=m2o_grants,
+                composite_mb=composite_mb,
+                residual_mb=float(filtered.sum()),
+            )
+            metrics = obs.get_metrics()
+            metrics.counter(
+                "cpsched_schedules_total", "cp-Switch schedule() calls"
+            ).inc()
+            grants = metrics.counter(
+                "cpsched_composite_grants_total",
+                "composite-path grants in interpreted configurations (by kind)",
+            )
+            if o2m_grants:
+                grants.labels(kind="o2m").inc(o2m_grants)
+            if m2o_grants:
+                grants.labels(kind="m2o").inc(m2o_grants)
+            metrics.counter(
+                "cpsched_composite_volume_mb_total",
+                "volume (Mb) scheduled onto composite paths",
+            ).inc(composite_mb)
+
         return CpSchedule(
             entries=tuple(entries),
             reconfig_delay=params.reconfig_delay,

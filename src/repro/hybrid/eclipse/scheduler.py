@@ -156,6 +156,19 @@ class EclipseScheduler:
                 obs.get_tracer().end(
                     span, steps=len(entries), window_used_ms=clock
                 )
+            tracer = obs.get_tracer()
+            if tracer.enabled:
+                # Schedule-quality audit: deterministic decisions only, the
+                # alignment record for `obs diff` / the BENCH_obs gate.
+                tracer.event(
+                    "scheduler.audit",
+                    scheduler=self.name,
+                    n=n,
+                    configs=len(entries),
+                    window_used_ms=clock,
+                    watchdogs=len(self.last_diagnostics),
+                    residual_mb=float(residual.sum()),
+                )
             metrics = obs.get_metrics()
             if metrics.enabled:
                 metrics.counter(

@@ -170,6 +170,19 @@ class SolsticeScheduler:
                 obs.get_tracer().end(
                     span, slices=len(entries), makespan_ms=makespan
                 )
+            tracer = obs.get_tracer()
+            if tracer.enabled:
+                # Schedule-quality audit: deterministic decisions only, the
+                # alignment record for `obs diff` / the BENCH_obs gate.
+                tracer.event(
+                    "scheduler.audit",
+                    scheduler=self.name,
+                    n=n,
+                    configs=len(entries),
+                    makespan_ms=makespan,
+                    watchdogs=len(self.last_diagnostics),
+                    residual_mb=float(leftover.sum()),
+                )
             metrics = obs.get_metrics()
             if metrics.enabled:
                 metrics.counter(

@@ -1,0 +1,100 @@
+"""Render a MetricsRegistry snapshot as a Prometheus/OpenMetrics textfile.
+
+Backs ``python -m repro obs export --format openmetrics``.  The snapshot
+may come from a ``--metrics`` JSON file or from the ``metrics`` record
+embedded in a trace JSONL (both accepted via
+:func:`repro.obs.summarize.load_trace_or_snapshot`); the output is the
+text exposition format the node-exporter textfile collector scrapes:
+``# HELP``/``# TYPE`` headers, one sample per labeled child, histograms
+expanded to cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``,
+terminated by ``# EOF``.
+
+The registry stores per-bucket counts (one slot per bound plus the +Inf
+overflow); the exposition format wants *cumulative* ``le`` buckets, so the
+renderer runs the prefix sum here rather than complicating the hot-path
+``observe()``.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Formats ``repro obs export`` understands.
+EXPORT_FORMATS: "tuple[str, ...]" = ("openmetrics",)
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: dict, extra: "dict | None" = None) -> str:
+    merged = dict(labels or {})
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else _format_value(bound)
+
+
+def render_openmetrics(snapshot: dict) -> str:
+    """The snapshot as Prometheus text exposition (ends with ``# EOF``)."""
+    lines: "list[str]" = []
+    for name in sorted(snapshot or {}):
+        payload = snapshot[name]
+        kind = payload.get("type", "counter")
+        description = str(payload.get("description", "")).replace("\n", " ")
+        if description:
+            lines.append(f"# HELP {name} {description}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in payload.get("values", []):
+            labels = entry.get("labels") or {}
+            if kind == "histogram":
+                bounds = list(entry.get("buckets", []))
+                counts = list(entry.get("bucket_counts", []))
+                total = int(entry.get("count", 0))
+                cumulative = 0
+                for bound, bucket_count in zip(bounds, counts):
+                    cumulative += int(bucket_count)
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_format_labels(labels, {'le': _format_bound(bound)})} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_format_labels(labels, {'le': '+Inf'})} {total}"
+                )
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} "
+                    f"{_format_value(float(entry.get('sum', 0.0)))}"
+                )
+                lines.append(f"{name}_count{_format_labels(labels)} {total}")
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_value(float(entry.get('value', 0.0)))}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -7,7 +7,10 @@ readable at sweep scale while still exposing where the wall-clock went.
 
 Loading is tolerant of a trailing torn line (same policy as the run
 journal): a trace captured from a killed process summarizes fine up to the
-kill point.
+kill point.  A malformed line *followed by more data* is a different
+situation — the file is corrupted, not merely torn — and raises
+:class:`TraceParseError` with a one-line actionable message instead of
+silently dropping everything after the bad line.
 """
 
 from __future__ import annotations
@@ -15,6 +18,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+
+
+class TraceParseError(ValueError):
+    """A trace file is malformed beyond the tolerated trailing torn line."""
 
 
 @dataclass
@@ -29,16 +36,30 @@ class TraceData:
 
 
 def load_trace(path: "str | Path") -> TraceData:
-    """Parse a trace file written by :meth:`repro.obs.JsonlTracer.dump`."""
+    """Parse a trace file written by :meth:`repro.obs.JsonlTracer.dump`.
+
+    A trailing torn line (a killed writer) is tolerated and counted in
+    ``torn_lines``; a malformed line with valid data after it raises
+    :class:`TraceParseError`.
+    """
+    path = Path(path)
     data = TraceData()
-    text = Path(path).read_text(encoding="utf-8")
-    for line in text.splitlines():
-        line = line.strip()
+    text = path.read_text(encoding="utf-8")
+    lines = [line.strip() for line in text.splitlines()]
+    for index, line in enumerate(lines):
         if not line:
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError:
+            remainder = sum(1 for later in lines[index + 1 :] if later)
+            if remainder:
+                raise TraceParseError(
+                    f"{path} line {index + 1} is not valid JSON and "
+                    f"{remainder} non-empty line(s) follow it — the file is "
+                    "corrupted, not merely torn; re-record the trace with "
+                    "--trace"
+                ) from None
             data.torn_lines += 1
             break
         kind = record.get("kind")
@@ -50,6 +71,33 @@ def load_trace(path: "str | Path") -> TraceData:
             data.events.append(record)
         elif kind == "metrics":
             data.metrics = record.get("snapshot", {})
+    return data
+
+
+def load_trace_or_snapshot(path: "str | Path") -> TraceData:
+    """Load either a trace JSONL or a bare ``--metrics`` snapshot JSON.
+
+    ``repro obs summarize``/``diff``/``export`` accept both artifact kinds
+    the CLI writes: a span trace (JSONL, metrics embedded) and the plain
+    JSON metrics snapshot.  A snapshot is wrapped in a metrics-only
+    :class:`TraceData`; a file that is neither raises
+    :class:`TraceParseError` with a one-line actionable message.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and "kind" not in payload:
+        # A --metrics snapshot: name -> {type, description, values}.
+        return TraceData(metrics=payload)
+    data = load_trace(path)
+    if not (data.meta or data.spans or data.events or data.metrics):
+        raise TraceParseError(
+            f"{path} holds no trace records (expected a --trace JSONL or a "
+            "--metrics snapshot JSON)"
+        )
     return data
 
 
@@ -84,6 +132,55 @@ def _group_siblings(spans: "list[dict]") -> "list[_Group]":
         group.first_start = min(group.first_start, span.get("start") or 0.0)
         group.members.append(span)
     return sorted(groups.values(), key=lambda g: g.first_start)
+
+
+def span_paths(data: TraceData) -> "dict[int, str]":
+    """Span id → slash-joined root-to-span name path.
+
+    The path (e.g. ``repro.compare/runner.trial/solstice.schedule``) is the
+    alignment key ``repro obs diff`` uses to match phases across two runs:
+    it is stable across runs of the same command even though span ids and
+    counts are not.  A span whose parent is missing from the trace (e.g.
+    dropped by a kill) roots its own path.
+    """
+    by_id = {span["id"]: span for span in data.spans}
+    paths: "dict[int, str]" = {}
+
+    def resolve(span_id: int) -> str:
+        cached = paths.get(span_id)
+        if cached is not None:
+            return cached
+        span = by_id[span_id]
+        parent = span.get("parent")
+        name = span.get("name", "?")
+        path = (
+            f"{resolve(parent)}/{name}" if parent in by_id and parent != span_id else name
+        )
+        paths[span_id] = path
+        return path
+
+    for span_id in by_id:
+        resolve(span_id)
+    return paths
+
+
+def group_paths(data: TraceData) -> "dict[str, _Group]":
+    """Spans grouped by full path (the cross-run alignment ``diff`` needs).
+
+    Same :class:`_Group` aggregation as the summary tree, but keyed by the
+    root-to-span path instead of per-parent sibling name, so two traces of
+    the same command can be joined path-for-path.
+    """
+    paths = span_paths(data)
+    groups: "dict[str, _Group]" = {}
+    for span in data.spans:
+        path = paths[span["id"]]
+        group = groups.setdefault(path, _Group(path))
+        group.count += 1
+        group.total += _duration(span)
+        group.first_start = min(group.first_start, span.get("start") or 0.0)
+        group.members.append(span)
+    return groups
 
 
 def render_span_tree(data: TraceData, max_depth: "int | None" = None) -> "list[str]":
@@ -182,21 +279,32 @@ def render_counters(snapshot: dict, top: int = 10) -> "list[str]":
 def render_summary(
     data: TraceData, top: int = 10, max_depth: "int | None" = None
 ) -> str:
-    """The full ``repro obs summarize`` report for one trace."""
+    """The full ``repro obs summarize`` report for one trace.
+
+    Only the sections the trace actually carries are rendered: a
+    metrics-only artifact (e.g. a ``--metrics`` snapshot) gets the counter
+    section without an empty span tree, and vice versa.
+    """
     meta = data.meta
-    header = (
-        f"trace format v{meta.get('format', '?')} — "
-        f"command: {meta.get('command', '?')}, "
-        f"{len(data.spans)} spans, {len(data.events)} events, "
-        f"wall {meta.get('wall_s', 0.0):.3f}s"
-    )
+    if meta:
+        header = (
+            f"trace format v{meta.get('format', '?')} — "
+            f"command: {meta.get('command', '?')}, "
+            f"{len(data.spans)} spans, {len(data.events)} events, "
+            f"wall {meta.get('wall_s', 0.0):.3f}s"
+        )
+    else:
+        header = (
+            f"metrics snapshot — {len(data.metrics)} metric(s), no span records"
+        )
     sections = [header]
     if data.torn_lines:
         sections.append(f"(warning: {data.torn_lines} torn trailing line(s) ignored)")
-    sections.append("")
-    sections.append("span tree (siblings aggregated by name)")
-    tree = render_span_tree(data, max_depth=max_depth)
-    sections.extend(tree if tree else ["  (no spans recorded)"])
+    if data.spans or not (data.events or data.metrics):
+        sections.append("")
+        sections.append("span tree (siblings aggregated by name)")
+        tree = render_span_tree(data, max_depth=max_depth)
+        sections.extend(tree if tree else ["  (no spans recorded)"])
     if data.events:
         sections.append("")
         sections.append("events")

@@ -1,0 +1,285 @@
+"""Live sweep monitoring: tail a journal + heartbeats, render progress.
+
+Backs ``python -m repro obs watch <journal>``.  A resumable sweep
+checkpoints every finished trial to its journal and (since the heartbeat
+layer) every *running* trial to ``<journal>.hb/``; this module joins the
+two into one status report:
+
+* progress — completed / failed / in-flight / pending against the header's
+  trial-spec list;
+* ETA — remaining trials × median duration of completed ones (the runner
+  executes trials sequentially, so the product is the wall-clock estimate);
+* retry and quarantine totals;
+* stragglers — in-flight trials older than a duration percentile of the
+  completed population (default p95), plus trials whose heartbeat has gone
+  stale (no ``last_progress`` update), which is how a hung worker shows up
+  before its timeout fires.
+
+Reading is strictly passive: the journal is atomic-rewritten by the
+runner, heartbeat files are atomically replaced, so a watcher sees
+consistent snapshots and perturbs nothing (the kill-and-resume smoke
+asserts journals are bit-identical with a watcher attached or not).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.runner.heartbeat import heartbeat_dir, read_heartbeats
+from repro.runner.journal import RunJournal
+
+#: In-flight trials older than this percentile of completed durations are
+#: flagged as stragglers.
+STRAGGLER_PERCENTILE: float = 95.0
+
+#: Minimum completed trials before percentile straggler flagging engages.
+MIN_COMPLETED_FOR_STRAGGLERS: int = 3
+
+#: A running trial whose heartbeat has not moved for this long is "stale".
+STALE_AFTER_S: float = 15.0
+
+_LIVE_PHASES = frozenset({"starting", "running", "retrying"})
+
+
+@dataclass
+class TrialStatus:
+    """One in-flight trial as seen through its heartbeat."""
+
+    key: str
+    phase: str
+    attempt: int
+    spans_so_far: int
+    age_s: float
+    idle_s: float
+    straggler: bool = False
+    stale: bool = False
+
+
+@dataclass
+class WatchState:
+    """One snapshot of a sweep's progress (everything the renderer needs)."""
+
+    sweep: str
+    journal_path: str
+    total: int
+    done: int
+    failed: int
+    pending: int
+    in_flight: "list[TrialStatus]" = field(default_factory=list)
+    durations: "list[float]" = field(default_factory=list)
+    retries: int = 0
+    eta_s: "float | None" = None
+    straggler_cutoff_s: "float | None" = None
+    torn_lines: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.done + self.failed >= self.total
+
+
+def _percentile(sorted_values: "list[float]", q: float) -> float:
+    """Linear-interpolation percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+
+
+def _median(values: "list[float]") -> "float | None":
+    if not values:
+        return None
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def collect_state(
+    journal_path: "str | Path", *, now: "float | None" = None
+) -> WatchState:
+    """Read the journal + heartbeat directory into one consistent snapshot."""
+    journal_path = Path(journal_path)
+    journal = RunJournal(journal_path)
+    header = journal.header
+    if header is None:
+        raise ValueError(
+            f"{journal_path} has no sweep header — not a sweep journal "
+            "(pass the journal `python -m repro sweep --journal` wrote)"
+        )
+    now = time.time() if now is None else now
+
+    spec_keys = [item["key"] for item in header.get("spec", [])]
+    done_keys = set(journal.completed())
+    failures = journal.failures()
+    failed_keys = {record["key"] for record in failures}
+    settled = done_keys | failed_keys
+
+    durations = [
+        float(record["elapsed_s"])
+        for record in journal.trial_records()
+        if record.get("status") == "ok" and "elapsed_s" in record
+    ]
+    retries = sum(
+        max(0, int(record.get("attempts", 1)) - 1)
+        for record in journal.trial_records()
+    )
+
+    ordered = sorted(durations)
+    cutoff = (
+        _percentile(ordered, STRAGGLER_PERCENTILE)
+        if len(ordered) >= MIN_COMPLETED_FOR_STRAGGLERS
+        else None
+    )
+
+    in_flight: "list[TrialStatus]" = []
+    for key, beat in read_heartbeats(heartbeat_dir(journal_path)).items():
+        if beat.get("phase") not in _LIVE_PHASES or key in settled:
+            continue
+        age = max(0.0, now - float(beat.get("started_at", now)))
+        idle = max(0.0, now - float(beat.get("last_progress", now)))
+        in_flight.append(
+            TrialStatus(
+                key=key,
+                phase=str(beat.get("phase", "?")),
+                attempt=int(beat.get("attempt", 1)),
+                spans_so_far=int(beat.get("spans_so_far", 0)),
+                age_s=age,
+                idle_s=idle,
+                straggler=cutoff is not None and age > cutoff,
+                stale=idle > STALE_AFTER_S,
+            )
+        )
+    in_flight.sort(key=lambda status: -status.age_s)
+
+    total = len(spec_keys) if spec_keys else len(settled) + len(in_flight)
+    remaining = max(0, total - len(done_keys) - len(failed_keys))
+    median = _median(durations)
+    eta = remaining * median if (median is not None and remaining) else None
+
+    return WatchState(
+        sweep=str(header.get("sweep", "?")),
+        journal_path=str(journal_path),
+        total=total,
+        done=len(done_keys),
+        failed=len(failed_keys),
+        pending=max(0, remaining - len(in_flight)),
+        in_flight=in_flight,
+        durations=durations,
+        retries=retries,
+        eta_s=eta,
+        straggler_cutoff_s=cutoff,
+        torn_lines=journal.torn_lines,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# rendering
+# ---------------------------------------------------------------------- #
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds < 1:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    if seconds < 3600:
+        return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+    return f"{int(seconds // 3600)}h{int(seconds % 3600 // 60):02d}m"
+
+
+def _progress_bar(done: int, failed: int, total: int, width: int = 30) -> str:
+    if total <= 0:
+        return "[" + " " * width + "]"
+    filled = round(width * done / total)
+    crossed = round(width * failed / total)
+    filled = min(filled, width)
+    crossed = min(crossed, width - filled)
+    return "[" + "#" * filled + "x" * crossed + "-" * (width - filled - crossed) + "]"
+
+
+def render_watch(state: WatchState) -> str:
+    """One status frame as text (``repro obs watch``)."""
+    lines = [
+        f"sweep {state.sweep!r} — {state.journal_path}",
+        (
+            f"{_progress_bar(state.done, state.failed, state.total)} "
+            f"{state.done}/{state.total} done"
+            + (f", {state.failed} failed" if state.failed else "")
+            + (f", {len(state.in_flight)} running" if state.in_flight else "")
+            + (f", {state.pending} pending" if state.pending else "")
+        ),
+    ]
+    if state.torn_lines:
+        lines.append(f"(warning: {state.torn_lines} torn journal line(s) ignored)")
+    median = _median(state.durations)
+    if median is not None:
+        stats = f"trial median {_fmt_duration(median)}"
+        if state.straggler_cutoff_s is not None:
+            stats += f", p{STRAGGLER_PERCENTILE:.0f} {_fmt_duration(state.straggler_cutoff_s)}"
+        lines.append(stats)
+    if state.eta_s is not None:
+        remaining = state.total - state.done - state.failed
+        lines.append(
+            f"ETA ~{_fmt_duration(state.eta_s)} "
+            f"({remaining} remaining × median {_fmt_duration(median)})"
+        )
+    if state.retries:
+        lines.append(f"retries {state.retries}, quarantined {state.failed}")
+    elif state.failed:
+        lines.append(f"quarantined {state.failed}")
+    if state.in_flight:
+        lines.append("in flight:")
+        for status in state.in_flight:
+            flags = []
+            if status.straggler:
+                flags.append(
+                    f"straggler (> p{STRAGGLER_PERCENTILE:.0f} "
+                    f"{_fmt_duration(state.straggler_cutoff_s or 0.0)})"
+                )
+            if status.stale:
+                flags.append(f"stale (no progress {_fmt_duration(status.idle_s)})")
+            suffix = ("  ← " + ", ".join(flags)) if flags else ""
+            lines.append(
+                f"  {status.key:<32} {status.phase:<9} attempt {status.attempt}"
+                f"  spans {status.spans_so_far}"
+                f"  age {_fmt_duration(status.age_s)}{suffix}"
+            )
+    if state.finished:
+        lines.append("sweep complete")
+    return "\n".join(lines)
+
+
+def watch(
+    journal_path: "str | Path",
+    *,
+    follow: bool = False,
+    interval_s: float = 2.0,
+    max_frames: "int | None" = None,
+    emit=print,
+    sleep=time.sleep,
+) -> WatchState:
+    """Render the sweep's status once, or keep tailing with ``follow``.
+
+    Returns the last collected state.  ``max_frames``/``emit``/``sleep``
+    are injection points for tests; the follow loop stops when the sweep
+    finishes (or on Ctrl-C from the CLI).
+    """
+    frames = 0
+    while True:
+        state = collect_state(journal_path)
+        emit(render_watch(state))
+        frames += 1
+        if not follow or state.finished:
+            return state
+        if max_frames is not None and frames >= max_frames:
+            return state
+        sleep(interval_s)
+        emit("")

@@ -11,6 +11,13 @@ Entry points: :class:`SweepRunner` (library), ``python -m repro sweep``
 """
 
 from repro.runner.failures import TrialFailure, demand_fingerprint, quarantine_trial
+from repro.runner.heartbeat import (
+    HEARTBEAT_FORMAT,
+    HeartbeatTicker,
+    heartbeat_dir,
+    read_heartbeats,
+    write_heartbeat,
+)
 from repro.runner.isolation import (
     TrialOutcome,
     TrialSpec,
@@ -23,6 +30,8 @@ from repro.runner.retry import RetryPolicy
 from repro.runner.sweep import SweepConfig, SweepResult, SweepRunner, specs_from_journal
 
 __all__ = [
+    "HEARTBEAT_FORMAT",
+    "HeartbeatTicker",
     "JOURNAL_FORMAT",
     "JournalFormatError",
     "RetryPolicy",
@@ -34,9 +43,12 @@ __all__ = [
     "TrialOutcome",
     "TrialSpec",
     "demand_fingerprint",
+    "heartbeat_dir",
     "quarantine_trial",
+    "read_heartbeats",
     "resolve_fn",
     "run_in_subprocess",
     "run_inline",
     "specs_from_journal",
+    "write_heartbeat",
 ]

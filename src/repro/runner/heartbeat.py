@@ -1,0 +1,199 @@
+"""Per-trial heartbeat files: the live-progress channel of a sweep.
+
+A resumable sweep is a black box between journal flushes — a trial that
+hangs, retries, or crawls produces no observable signal until it finishes
+or times out.  Heartbeats fix that: the :class:`~repro.runner.sweep.SweepRunner`
+and each subprocess worker write small JSON records into a ``<journal>.hb/``
+directory next to the journal, one file per trial key, each replaced
+atomically (tmp + ``os.replace``, unique tmp names, so the parent's phase
+transitions and the worker's progress ticker never tear each other).
+``repro obs watch`` tails the directory together with the journal.
+
+Heartbeat record schema (one JSON object per file):
+
+======================  ======================================================
+field                   meaning
+======================  ======================================================
+``format``              heartbeat envelope version (:data:`HEARTBEAT_FORMAT`)
+``key``                 trial key (journal checkpoint key)
+``experiment``          experiment label from the spec
+``phase``               ``"starting" | "running" | "retrying" | "done" |
+                        "failed" | "quarantined"``
+``attempt``             1-based attempt currently executing
+``retries``             completed attempts that failed (attempt - 1)
+``spans_so_far``        closed obs spans in the worker (0 if obs is off)
+``pid``                 worker pid (``running`` phase), else the parent's
+``started_at``          Unix time the trial's first attempt began
+``last_progress``       Unix time of the most recent update — staleness
+                        here is how ``obs watch`` flags hung trials
+======================  ======================================================
+
+Heartbeats are advisory: they are never read back by the runner itself,
+never influence scheduling or results (the kill-and-resume smoke asserts
+journals are bit-identical with monitoring on vs. off), and a missing or
+torn heartbeat directory degrades ``obs watch`` — never the sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.utils.fileio import atomic_write_json
+
+#: Version of the heartbeat record envelope.
+HEARTBEAT_FORMAT: int = 1
+
+#: Seconds between worker-side progress ticks.
+TICK_INTERVAL_S: float = 1.0
+
+_SAFE_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._:-"
+)
+
+
+def heartbeat_dir(journal_path: "str | Path") -> Path:
+    """The heartbeat directory paired with a journal path."""
+    journal_path = Path(journal_path)
+    return journal_path.with_name(journal_path.name + ".hb")
+
+
+def _safe_filename(key: str) -> str:
+    """Map an arbitrary trial key onto a unique, filesystem-safe name.
+
+    Keys are conventionally ``"<experiment>:<trial>"`` and already safe;
+    any other character is folded to ``_`` with a short digest appended so
+    two keys never collide after sanitization.
+    """
+    cleaned = "".join(ch if ch in _SAFE_CHARS else "_" for ch in key)
+    if cleaned == key:
+        return f"{key}.json"
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:8]
+    return f"{cleaned}-{digest}.json"
+
+
+def write_heartbeat(
+    directory: "str | Path",
+    key: str,
+    *,
+    phase: str,
+    experiment: str = "",
+    attempt: int = 1,
+    started_at: "float | None" = None,
+    spans_so_far: int = 0,
+) -> Path:
+    """Atomically (re)write the heartbeat file of one trial key.
+
+    Best-effort by design: an unwritable directory (read-only scratch,
+    deleted mid-sweep) must never fail the trial, so ``OSError`` is
+    swallowed and the sweep carries on without monitoring.
+    """
+    directory = Path(directory)
+    now = time.time()
+    record = {
+        "format": HEARTBEAT_FORMAT,
+        "key": key,
+        "experiment": experiment,
+        "phase": phase,
+        "attempt": attempt,
+        "retries": max(0, attempt - 1),
+        "spans_so_far": spans_so_far,
+        "pid": os.getpid(),
+        "started_at": started_at if started_at is not None else now,
+        "last_progress": now,
+    }
+    path = directory / _safe_filename(key)
+    try:
+        atomic_write_json(record, path, indent=None)
+    except OSError:
+        pass
+    return path
+
+
+def read_heartbeats(directory: "str | Path") -> "dict[str, dict]":
+    """Read every heartbeat record in a directory, keyed by trial key.
+
+    Torn or foreign files are skipped (the atomic writer should prevent
+    tears, but ``obs watch`` must survive anything it finds on disk).
+    """
+    directory = Path(directory)
+    records: "dict[str, dict]" = {}
+    if not directory.is_dir():
+        return records
+    for path in sorted(directory.glob("*.json")):
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(record, dict) and "key" in record:
+            records[record["key"]] = record
+    return records
+
+
+def _spans_so_far() -> int:
+    tracer = obs.get_tracer()
+    if not tracer.enabled:
+        return 0
+    return len(tracer.records())
+
+
+class HeartbeatTicker:
+    """Daemon thread refreshing one trial's heartbeat from inside a worker.
+
+    Started by the subprocess worker after :func:`repro.obs.reset_for_fork`;
+    every :data:`TICK_INTERVAL_S` it rewrites the heartbeat with the current
+    closed-span count and ``last_progress`` timestamp, which is what lets
+    ``obs watch`` tell a slow-but-alive trial from a hung one.  The thread
+    is a daemon, so a worker that is SIGKILLed never leaks it.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        key: str,
+        *,
+        experiment: str = "",
+        attempt: int = 1,
+        interval_s: float = TICK_INTERVAL_S,
+    ) -> None:
+        self._directory = Path(directory)
+        self._key = key
+        self._experiment = experiment
+        self._attempt = attempt
+        self._interval_s = interval_s
+        self._started_at = time.time()
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    def _beat(self) -> None:
+        write_heartbeat(
+            self._directory,
+            self._key,
+            phase="running",
+            experiment=self._experiment,
+            attempt=self._attempt,
+            started_at=self._started_at,
+            spans_so_far=_spans_so_far(),
+        )
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            self._beat()
+
+    def start(self) -> "HeartbeatTicker":
+        self._beat()  # an immediate first beat marks the attempt as running
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat:{self._key}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)

@@ -137,7 +137,7 @@ def _obs_blob() -> "dict | None":
     }
 
 
-def _subprocess_worker(conn, fn_path: str, kwargs: dict) -> None:
+def _subprocess_worker(conn, fn_path: str, kwargs: dict, heartbeat=None) -> None:
     """Child-side entry point: run the trial, report through the pipe.
 
     Under the ``fork`` start method the worker inherits the parent's
@@ -146,14 +146,29 @@ def _subprocess_worker(conn, fn_path: str, kwargs: dict) -> None:
     back alongside the result for the parent to absorb.  Under ``spawn``
     the module state is rebuilt with the null backends and the blob is
     simply ``None``.
+
+    ``heartbeat`` is an optional ``(dir, key, experiment, attempt)`` tuple;
+    when given, a daemon :class:`~repro.runner.heartbeat.HeartbeatTicker`
+    refreshes the trial's heartbeat file while the trial runs, so a
+    ``repro obs watch`` on the journal can tell alive from hung.
     """
     obs.reset_for_fork()
+    ticker = None
+    if heartbeat is not None:
+        from repro.runner.heartbeat import HeartbeatTicker
+
+        hb_dir, key, experiment, attempt = heartbeat
+        ticker = HeartbeatTicker(
+            hb_dir, key, experiment=experiment, attempt=attempt
+        ).start()
     try:
         payload = resolve_fn(fn_path)(**kwargs)
         conn.send(("ok", payload, _obs_blob()))
     except Exception as exc:  # noqa: BLE001
         conn.send(("error", _error_dict(exc), _obs_blob()))
     finally:
+        if ticker is not None:
+            ticker.stop()
         conn.close()
 
 
@@ -162,6 +177,7 @@ def run_in_subprocess(
     *,
     timeout_s: "float | None" = None,
     start_method: "str | None" = None,
+    heartbeat: "tuple | None" = None,
 ) -> TrialOutcome:
     """Execute the trial in a worker process with a wall-clock budget.
 
@@ -173,6 +189,9 @@ def run_in_subprocess(
     start_method:
         Multiprocessing start method; defaults to ``fork`` where available
         (cheap on Linux), else the platform default.
+    heartbeat:
+        Optional ``(dir, key, experiment, attempt)`` tuple; the worker
+        keeps the trial's heartbeat file fresh while it runs.
     """
     if start_method is None:
         methods = multiprocessing.get_all_start_methods()
@@ -180,7 +199,8 @@ def run_in_subprocess(
     ctx = multiprocessing.get_context(start_method)
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     process = ctx.Process(
-        target=_subprocess_worker, args=(child_conn, spec.fn, spec.kwargs)
+        target=_subprocess_worker,
+        args=(child_conn, spec.fn, spec.kwargs, heartbeat),
     )
     start = time.perf_counter()
     process.start()

@@ -26,6 +26,7 @@ from typing import Callable
 
 from repro import obs
 from repro.runner.failures import TrialFailure, quarantine_trial
+from repro.runner.heartbeat import heartbeat_dir, write_heartbeat
 from repro.runner.isolation import TrialOutcome, TrialSpec, run_in_subprocess, run_inline
 from repro.runner.journal import RunJournal
 from repro.runner.retry import RetryPolicy
@@ -47,6 +48,10 @@ class SweepConfig:
         Quarantine directory for ``.npz`` reproducers; ``None`` derives
         ``<journal>.failed/`` next to the journal (no quarantine files for
         in-memory journals).
+    heartbeat:
+        Write per-trial heartbeat files to ``<journal>.hb/`` for
+        ``repro obs watch`` (default on; a no-op for in-memory journals).
+        Heartbeats are advisory and never affect trial results.
     sleep:
         Injection point for the backoff sleep (tests pass a no-op).
     """
@@ -55,6 +60,7 @@ class SweepConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     isolation: str = "subprocess"
     failed_dir: "str | Path | None" = None
+    heartbeat: bool = True
     sleep: Callable[[float], None] = time.sleep
 
     def __post_init__(self) -> None:
@@ -101,10 +107,24 @@ class SweepRunner:
             return self.journal.path.with_name(self.journal.path.name + ".failed")
         return None
 
-    def _attempt(self, spec: TrialSpec) -> TrialOutcome:
+    def _heartbeat_dir(self) -> "Path | None":
+        if not self.config.heartbeat or self.journal.path is None:
+            return None
+        return heartbeat_dir(self.journal.path)
+
+    def _attempt(
+        self, spec: TrialSpec, attempt: int, hb_dir: "Path | None"
+    ) -> TrialOutcome:
         if self.config.isolation == "inline":
             return run_inline(spec)
-        return run_in_subprocess(spec, timeout_s=self.config.timeout_s)
+        heartbeat = (
+            (str(hb_dir), spec.key, spec.experiment, attempt)
+            if hb_dir is not None
+            else None
+        )
+        return run_in_subprocess(
+            spec, timeout_s=self.config.timeout_s, heartbeat=heartbeat
+        )
 
     def run(
         self,
@@ -145,12 +165,23 @@ class SweepRunner:
         delays = self.config.retry.delays()
         attempts = 0
         outcome: "TrialOutcome | None" = None
+        hb_dir = self._heartbeat_dir()
+        started_at = time.time()
         with obs.profiled(
             "runner.trial", key=spec.key, experiment=spec.experiment
         ) as span:
             for attempt in range(self.config.retry.max_attempts):
                 attempts = attempt + 1
-                outcome = self._attempt(spec)
+                if hb_dir is not None:
+                    write_heartbeat(
+                        hb_dir,
+                        spec.key,
+                        phase="starting" if attempt == 0 else "retrying",
+                        experiment=spec.experiment,
+                        attempt=attempts,
+                        started_at=started_at,
+                    )
+                outcome = self._attempt(spec, attempts, hb_dir)
                 if outcome.ok:
                     break
                 if attempt < len(delays) and delays[attempt] > 0:
@@ -176,6 +207,15 @@ class SweepRunner:
                 attempts=attempts,
                 elapsed_s=outcome.elapsed_s,
             )
+            if hb_dir is not None:
+                write_heartbeat(
+                    hb_dir,
+                    spec.key,
+                    phase="done",
+                    experiment=spec.experiment,
+                    attempt=attempts,
+                    started_at=started_at,
+                )
             return
 
         failure = quarantine_trial(
@@ -183,6 +223,15 @@ class SweepRunner:
         )
         result.failures.append(failure)
         self.journal.record_failure(spec.key, failure.to_record(), attempts=attempts)
+        if hb_dir is not None:
+            write_heartbeat(
+                hb_dir,
+                spec.key,
+                phase="quarantined",
+                experiment=spec.experiment,
+                attempt=attempts,
+                started_at=started_at,
+            )
         if obs.active():
             obs.get_tracer().event(
                 "runner.quarantined", key=spec.key, attempts=attempts

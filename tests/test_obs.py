@@ -478,3 +478,235 @@ class TestCli:
         assert code == 0
         assert not obs.active()
         capsys.readouterr()
+
+
+# ---------------------------------------------------------------------- #
+# cross-process merge edge cases
+# ---------------------------------------------------------------------- #
+
+
+class TestAbsorbCollisions:
+    def test_absorb_remaps_collision_heavy_ids(self):
+        """Two workers whose id spaces fully overlap graft without clashing."""
+        parent = JsonlTracer()
+        trial = parent.begin("runner.trial")
+
+        def worker_records(label):
+            worker = JsonlTracer()
+            outer = worker.begin(f"{label}.outer")
+            with worker.span(f"{label}.inner"):
+                worker.event(f"{label}.tick")
+            worker.end(outer)
+            return worker.drain()
+
+        a, b = worker_records("a"), worker_records("b")
+        # Both workers used ids 1..2 — the collision-heavy case.
+        assert {r["id"] for r in a if r["kind"] == "span"} == {
+            r["id"] for r in b if r["kind"] == "span"
+        }
+        parent.absorb(a)
+        parent.absorb(b)
+        parent.end(trial)
+
+        records = parent.records()
+        spans = [r for r in records if r["kind"] == "span"]
+        ids = [r["id"] for r in spans]
+        assert len(ids) == len(set(ids)) == 5  # 2 per worker + the trial span
+        by_name = {r["name"]: r for r in spans}
+        trial_id = by_name["runner.trial"]["id"]
+        # Parentless worker roots graft under the open trial span...
+        assert by_name["a.outer"]["parent"] == trial_id
+        assert by_name["b.outer"]["parent"] == trial_id
+        # ...and intra-worker parent links follow the remap, never the raw id.
+        assert by_name["a.inner"]["parent"] == by_name["a.outer"]["id"]
+        assert by_name["b.inner"]["parent"] == by_name["b.outer"]["id"]
+        events = {r["name"]: r for r in records if r["kind"] == "event"}
+        assert events["a.tick"]["span"] == by_name["a.inner"]["id"]
+        assert events["b.tick"]["span"] == by_name["b.inner"]["id"]
+
+    def test_absorbed_trace_keeps_valid_paths(self):
+        """group_paths on an absorbed trace resolves every span."""
+        from repro.obs.summarize import TraceData, group_paths
+
+        parent = JsonlTracer()
+        trial = parent.begin("runner.trial")
+        for _ in range(2):
+            worker = JsonlTracer()
+            with worker.span("engine.run"):
+                with worker.span("engine.phase"):
+                    pass
+            parent.absorb(worker.drain())
+        parent.end(trial)
+        groups = group_paths(TraceData(spans=parent.records()))
+        assert groups["runner.trial/engine.run"].count == 2
+        assert groups["runner.trial/engine.run/engine.phase"].count == 2
+
+
+class TestMergeLabelConflicts:
+    def test_merge_conflicting_label_sets(self):
+        """Same counter name, disjoint label sets: children stay separate."""
+        parent = MetricsRegistry()
+        parent.counter("trials_total").labels(status="ok").inc(2)
+        parent.counter("trials_total").inc(1)  # unlabeled parent value too
+
+        worker = MetricsRegistry()
+        worker.counter("trials_total").labels(status="failed").inc(1)
+        worker.counter("trials_total").labels(host="w1", status="ok").inc(3)
+
+        parent.merge(worker.snapshot())
+        values = {
+            tuple(sorted((entry["labels"] or {}).items())): entry["value"]
+            for entry in parent.snapshot()["trials_total"]["values"]
+        }
+        assert values[(("status", "ok"),)] == 2.0
+        assert values[(("status", "failed"),)] == 1.0
+        assert values[(("host", "w1"), ("status", "ok"))] == 3.0
+        assert values[()] == 1.0
+
+    def test_merge_histogram_label_conflict_and_foreign_buckets(self):
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(1.0, 2.0)).labels(stage="x").observe(0.5)
+        worker_snapshot = {
+            "h": {
+                "type": "histogram",
+                "description": "",
+                "values": [
+                    # Same name, different label set.
+                    {"labels": {"stage": "y"}, "count": 1, "sum": 1.5,
+                     "buckets": [1.0, 2.0], "bucket_counts": [0, 1, 0]},
+                    # Foreign bucket layout: totals survive, shape dropped.
+                    {"labels": {"stage": "x"}, "count": 2, "sum": 9.0,
+                     "buckets": [5.0], "bucket_counts": [1, 1]},
+                ],
+            }
+        }
+        parent.merge(worker_snapshot)
+        entries = {
+            entry["labels"]["stage"]: entry
+            for entry in parent.snapshot()["h"]["values"]
+        }
+        assert entries["y"]["count"] == 1
+        assert entries["x"]["count"] == 3
+        assert entries["x"]["sum"] == pytest.approx(9.5)
+        # Foreign layout's 2 observations landed in the +Inf overflow slot.
+        assert entries["x"]["bucket_counts"][-1] == 2
+
+
+# ---------------------------------------------------------------------- #
+# summarize satellites: metrics-only artifacts, malformed JSONL, defaults
+# ---------------------------------------------------------------------- #
+
+
+class TestSummarizeSatellites:
+    def test_metrics_only_snapshot_renders(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.counter("engine_phases_total", "phases").inc(7)
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(registry.snapshot()))
+        assert main(["obs", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics snapshot — 1 metric(s), no span records" in out
+        assert "engine_phases_total" in out
+        assert "span tree" not in out  # no empty tree section
+
+    def test_span_free_trace_renders(self, tmp_path, capsys):
+        tracer = JsonlTracer()
+        tracer.event("lonely.event")
+        path = tmp_path / "trace.jsonl"
+        tracer.dump(path, meta={"command": "unit"})
+        assert main(["obs", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 spans, 1 events" in out
+        assert "lonely.event" in out
+
+    def test_malformed_mid_file_raises_actionable(self, tmp_path):
+        from repro.obs.summarize import TraceParseError
+
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            json.dumps({"kind": "meta", "format": 1}) + "\n"
+            + "{this is not json\n"
+            + json.dumps({"kind": "event", "name": "after", "t": 0.0}) + "\n"
+        )
+        with pytest.raises(TraceParseError, match="corrupted, not merely torn"):
+            load_trace(path)
+        with pytest.raises(SystemExit, match="re-record the trace"):
+            main(["obs", "summarize", str(path)])
+
+    def test_torn_trailing_line_tolerated(self, tmp_path, capsys):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            json.dumps({"kind": "meta", "format": 1}) + "\n"
+            + json.dumps(
+                {"kind": "span", "id": 1, "parent": None, "name": "x",
+                 "start": 0.0, "end": 1.0}
+            ) + "\n"
+            + '{"kind": "span", "id": 2, "na'  # killed writer
+        )
+        data = load_trace(path)
+        assert data.torn_lines == 1
+        assert len(data.spans) == 1
+        assert main(["obs", "summarize", str(path)]) == 0
+        assert "torn trailing line" in capsys.readouterr().out
+
+    def test_not_a_trace_raises(self, tmp_path):
+        path = tmp_path / "readme.txt"
+        path.write_text("hello\nworld\n")
+        with pytest.raises(SystemExit):
+            main(["obs", "summarize", str(path)])
+
+
+class TestObsPathDefaults:
+    def test_bare_trace_flag_defaults_into_run_dir(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path))
+        code = main(
+            [
+                "compare",
+                "--radix", "8",
+                "--trials", "1",
+                "--no-journal",
+                "--isolation", "inline",
+                "--trace",
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "compare-trace.jsonl").exists()
+        assert (tmp_path / "compare-metrics.json").exists()
+        capsys.readouterr()
+
+    def test_run_dir_flag_beats_env(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "env"))
+        explicit = tmp_path / "flag"
+        code = main(
+            [
+                "compare",
+                "--radix", "8",
+                "--trials", "1",
+                "--no-journal",
+                "--isolation", "inline",
+                "--run-dir", str(explicit),
+                "--trace",
+            ]
+        )
+        assert code == 0
+        assert (explicit / "compare-trace.jsonl").exists()
+        assert not (tmp_path / "env").exists()
+        capsys.readouterr()
+
+    def test_explicit_path_still_wins(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "env"))
+        trace = tmp_path / "explicit.jsonl"
+        code = main(
+            [
+                "compare",
+                "--radix", "8",
+                "--trials", "1",
+                "--no-journal",
+                "--isolation", "inline",
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        assert trace.exists()
+        capsys.readouterr()

@@ -1,0 +1,197 @@
+"""Tests for ``repro obs diff`` (run alignment + schedule-quality drift)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.diff import (
+    PhaseDelta,
+    PhaseStats,
+    QUALITY_COUNTERS,
+    diff_to_json,
+    diff_traces,
+    render_diff,
+)
+from repro.obs.summarize import TraceData, group_paths, span_paths
+from repro.obs.tracer import JsonlTracer
+
+
+def _trace(counter_values: "dict | None" = None, extra_span: bool = False) -> TraceData:
+    """A small deterministic trace: root → trial ×2 → schedule."""
+    tracer = JsonlTracer(clock=iter(range(100)).__next__)
+    root = tracer.begin("repro.compare")
+    for _ in range(2):
+        trial = tracer.begin("runner.trial")
+        with tracer.span("solstice.schedule"):
+            pass
+        tracer.end(trial)
+    if extra_span:
+        with tracer.span("new.phase"):
+            pass
+    tracer.end(root)
+    metrics = {}
+    for name, value in (counter_values or {}).items():
+        metrics[name] = {
+            "type": "counter",
+            "description": "",
+            "values": [{"labels": {}, "value": value}],
+        }
+    return TraceData(spans=tracer.records(), metrics=metrics)
+
+
+class TestPathAlignment:
+    def test_span_paths_are_root_to_leaf(self):
+        data = _trace()
+        paths = set(span_paths(data).values())
+        assert "repro.compare" in paths
+        assert "repro.compare/runner.trial" in paths
+        assert "repro.compare/runner.trial/solstice.schedule" in paths
+
+    def test_group_paths_merges_repeated_spans(self):
+        groups = group_paths(_trace())
+        assert groups["repro.compare/runner.trial"].count == 2
+        assert groups["repro.compare/runner.trial/solstice.schedule"].count == 2
+
+    def test_orphan_span_roots_its_own_path(self):
+        data = TraceData(
+            spans=[{"id": 7, "parent": 99, "name": "lost", "start": 0.0, "end": 1.0}]
+        )
+        assert span_paths(data) == {7: "lost"}
+
+
+class TestDiff:
+    def test_identical_traces_have_no_drift(self):
+        counters = {name: 3 for name in sorted(QUALITY_COUNTERS)[:3]}
+        diff = diff_traces(_trace(counters), _trace(counters))
+        assert not diff.has_quality_drift
+        assert all(d.a is not None and d.b is not None for d in diff.phases)
+        # every aligned phase has matching counts
+        assert all(d.a.count == d.b.count for d in diff.phases)
+
+    def test_quality_counter_change_is_drift(self):
+        a = _trace({"solstice_slices_total": 22})
+        b = _trace({"solstice_slices_total": 23})
+        diff = diff_traces(a, b)
+        assert diff.has_quality_drift
+        (entry,) = diff.quality_drift
+        assert entry["metric"] == "solstice_slices_total"
+        assert (entry["a"], entry["b"]) == (22.0, 23.0)
+
+    def test_timing_counter_change_is_not_drift(self):
+        a = _trace({"runner_retries_total": 0})
+        b = _trace({"runner_retries_total": 5})
+        diff = diff_traces(a, b)
+        assert not diff.has_quality_drift
+        assert diff.counters["runner_retries_total"] == (0.0, 5.0)
+
+    def test_volume_counter_uses_relative_tolerance(self):
+        value = 1234.5678
+        a = _trace({"cpsched_composite_volume_mb_total": value})
+        dust = _trace({"cpsched_composite_volume_mb_total": value * (1 + 1e-12)})
+        real = _trace({"cpsched_composite_volume_mb_total": value * 1.5})
+        assert not diff_traces(a, dust).has_quality_drift
+        assert diff_traces(a, real).has_quality_drift
+
+    def test_new_and_gone_phases(self):
+        path = "repro.compare/new.phase"
+        diff = diff_traces(_trace(), _trace(extra_span=True))
+        by_path = {d.path: d for d in diff.phases}
+        assert by_path[path].a is None
+        assert by_path[path].b is not None
+        back = diff_traces(_trace(extra_span=True), _trace())
+        assert {d.path: d for d in back.phases}[path].b is None
+
+    def test_stats_min_median_over_repeats(self):
+        data = TraceData(
+            spans=[
+                {"id": i, "parent": None, "name": "p", "start": 0.0, "end": end}
+                for i, end in enumerate([1.0, 2.0, 10.0], start=1)
+            ]
+        )
+        diff = diff_traces(data, data)
+        (delta,) = diff.phases
+        assert delta.a == PhaseStats(count=3, total=13.0, min=1.0, median=2.0)
+        assert delta.ratio == pytest.approx(1.0)
+
+    def test_render_and_json_shapes(self):
+        diff = diff_traces(
+            _trace({"solstice_slices_total": 1}), _trace({"solstice_slices_total": 2})
+        )
+        text = render_diff(diff)
+        assert "SCHEDULE-QUALITY DRIFT" in text
+        assert "solstice_slices_total" in text
+        payload = diff_to_json(diff)
+        assert payload["format"] == 1
+        assert payload["quality_drift"]
+        assert payload["counters"]["solstice_slices_total"]["delta"] == 1.0
+        json.dumps(payload)  # fully serializable
+
+    def test_ratio_none_when_a_empty(self):
+        delta = PhaseDelta(path="p", a=None, b=PhaseStats(1, 1.0, 1.0, 1.0))
+        assert delta.ratio is None
+        assert delta.delta_total == 1.0
+
+
+class TestDiffCli:
+    def _run_traced(self, tmp_path, name: str) -> str:
+        out = str(tmp_path / name)
+        assert (
+            main(
+                [
+                    "compare",
+                    "--radix",
+                    "8",
+                    "--trials",
+                    "1",
+                    "--no-journal",
+                    "--isolation",
+                    "inline",
+                    "--trace",
+                    out,
+                ]
+            )
+            == 0
+        )
+        return out
+
+    def test_same_seeded_run_zero_drift(self, tmp_path, capsys):
+        a = self._run_traced(tmp_path, "a.jsonl")
+        b = self._run_traced(tmp_path, "b.jsonl")
+        code = main(
+            ["obs", "diff", a, b, "--fail-on-drift", "--json", str(tmp_path / "d.json")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schedule-quality drift: none" in out
+        payload = json.loads((tmp_path / "d.json").read_text())
+        assert payload["quality_drift"] == []
+
+    def test_fail_on_drift_exits_nonzero(self, tmp_path, capsys):
+        a = self._run_traced(tmp_path, "a.jsonl")
+        # Different radix => genuinely different schedule decisions.
+        out = str(tmp_path / "c.jsonl")
+        assert (
+            main(
+                [
+                    "compare",
+                    "--radix",
+                    "12",
+                    "--trials",
+                    "1",
+                    "--no-journal",
+                    "--isolation",
+                    "inline",
+                    "--trace",
+                    out,
+                ]
+            )
+            == 0
+        )
+        assert main(["obs", "diff", a, out, "--fail-on-drift"]) == 1
+
+    def test_missing_file_is_one_line_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["obs", "diff", str(tmp_path / "no.jsonl"), str(tmp_path / "no2.jsonl")])

@@ -71,6 +71,11 @@ def main(argv: "list[str] | None" = None) -> int:
         help="CI mode: radix 32 only, 1 trial, 1 repeat",
     )
     parser.add_argument(
+        "--extended",
+        action="store_true",
+        help="add the Solstice-only kernel-scaling points (radix 256, 512)",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=None,
@@ -93,6 +98,7 @@ def main(argv: "list[str] | None" = None) -> int:
         n_trials=args.trials,
         seed=args.seed,
         repeats=args.repeats,
+        extended_radices=(256, 512) if args.extended else (),
     )
     path = write_report(payload, args.output)
 

@@ -41,6 +41,7 @@ from repro.core.scheduler import (
 )
 from repro.hybrid.base import make_scheduler
 from repro.hybrid.schedule import Schedule
+from repro.matching import kernels
 from repro.sim import simulate_cp, simulate_hybrid
 from repro.sim.engine import CompositeService
 from repro.sim.metrics import SimulationResult
@@ -324,8 +325,16 @@ def run_suite(
     n_trials: int = 2,
     seed: int = DEFAULT_SEED,
     repeats: int = 2,
+    extended_radices: "tuple[int, ...]" = (),
 ) -> dict:
-    """Run every (radix, scheduler) point and assemble the JSON payload."""
+    """Run every (radix, scheduler) point and assemble the JSON payload.
+
+    ``extended_radices`` adds Solstice-only points beyond the shared radix
+    sweep (the kernel-scaling points, 256/512 by convention): Eclipse's
+    O(n³)-per-probe LSAP makes its reference pipeline impractically slow
+    there, while Solstice's sparse kernels are exactly what those radices
+    are meant to exercise.
+    """
     points = [
         bench_point(
             n_ports=n,
@@ -338,6 +347,18 @@ def run_suite(
         for scheduler in schedulers
         for n in radices
     ]
+    points += [
+        bench_point(
+            n_ports=n,
+            scheduler="solstice",
+            ocs=ocs,
+            n_trials=n_trials,
+            seed=seed,
+            repeats=repeats,
+        )
+        for n in extended_radices
+        if "solstice" in schedulers
+    ]
     top_radix = max(radices)
     headline = {
         p["scheduler"]: p["speedup"] for p in points if p["radix"] == top_radix
@@ -348,6 +369,7 @@ def run_suite(
         "ocs": ocs,
         "trials_per_point": n_trials,
         "repeats": repeats,
+        "backend": kernels.backend(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "points": points,

@@ -40,6 +40,21 @@ class ScheduleEntry:
         object.__setattr__(self, "permutation", perm)
         check_nonnegative("duration", self.duration)
 
+    @classmethod
+    def trusted(cls, permutation: np.ndarray, duration: float) -> "ScheduleEntry":
+        """Construct without re-validating ``permutation``.
+
+        For hot paths that build the permutation from an already-verified
+        perfect matching (kernel BigSlice): the caller guarantees a square
+        C-contiguous int8 0/1 matrix with at most one 1 per row/column and
+        a finite non-negative duration.  The array is frozen in place.
+        """
+        entry = object.__new__(cls)
+        permutation.setflags(write=False)
+        object.__setattr__(entry, "permutation", permutation)
+        object.__setattr__(entry, "duration", duration)
+        return entry
+
     @property
     def size(self) -> int:
         """Matrix dimension m of the permutation."""

@@ -45,8 +45,9 @@ import numpy as np
 from repro import obs
 from repro.hybrid.diagnostics import SchedulerDiagnostics
 from repro.hybrid.schedule import Schedule, ScheduleEntry
-from repro.hybrid.solstice.slicing import big_slice
+from repro.hybrid.solstice.slicing import BigSliceState, big_slice
 from repro.hybrid.solstice.stuffing import quick_stuff_diagnosed
+from repro.matching import kernels
 from repro.switch.params import SwitchParams
 from repro.utils.validation import VOLUME_TOL, check_demand_matrix
 
@@ -111,6 +112,12 @@ class SolsticeScheduler:
             if obs_on:
                 obs.record_watchdog(stuffing_diag)
 
+        # Kernel backend: carry the warm-start/certificate memo across the
+        # slicing loop (see BigSliceState).  Every number it influences is
+        # bit-identical to the oracle path; REPRO_KERNELS=oracle disables it.
+        slice_state = BigSliceState(stuffed) if kernels.kernels_active() else None
+        rows = np.arange(n)
+
         while len(entries) < cap:
             port_load = max(leftover.sum(axis=1).max(), leftover.sum(axis=0).max())
             if port_load <= VOLUME_TOL:
@@ -120,7 +127,7 @@ class SolsticeScheduler:
             if stuffed.max(initial=0.0) <= VOLUME_TOL:
                 break  # stuffed matrix fully decomposed
             try:
-                threshold, permutation = big_slice(stuffed)
+                threshold, permutation = big_slice(stuffed, state=slice_state)
             except ValueError as exc:
                 # Equal-sum invariant broken (adversarial stuffing residue):
                 # stop extracting circuits; the EPS drains the leftover.
@@ -144,12 +151,30 @@ class SolsticeScheduler:
                     leftover,
                 )
                 break
-            mask = permutation.astype(bool)
-            stuffed[mask] = np.maximum(stuffed[mask] - threshold, 0.0)
-            # Circuits serve real demand up to the slice capacity.
             capacity = duration * ocs_rate
-            leftover[mask] = np.maximum(leftover[mask] - capacity, 0.0)
-            entries.append(ScheduleEntry(permutation=permutation, duration=duration))
+            if slice_state is not None:
+                # O(n) fancy-indexed subtraction along the matched entries.
+                # Boolean masking with a full permutation visits the same
+                # entries in the same (row-major) order, so the arithmetic
+                # is element-for-element identical to the oracle branch.
+                cols = slice_state.last_match
+                stuffed[rows, cols] = np.maximum(
+                    stuffed[rows, cols] - threshold, 0.0
+                )
+                leftover[rows, cols] = np.maximum(
+                    leftover[rows, cols] - capacity, 0.0
+                )
+                # The permutation was built from a verified perfect
+                # matching; skip re-validation on the hot path.
+                entries.append(ScheduleEntry.trusted(permutation, duration))
+            else:
+                mask = permutation.astype(bool)
+                stuffed[mask] = np.maximum(stuffed[mask] - threshold, 0.0)
+                # Circuits serve real demand up to the slice capacity.
+                leftover[mask] = np.maximum(leftover[mask] - capacity, 0.0)
+                entries.append(
+                    ScheduleEntry(permutation=permutation, duration=duration)
+                )
             makespan += duration + delta
         else:
             # Configuration cap hit with demand still uncovered — the EPS

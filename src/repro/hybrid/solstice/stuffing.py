@@ -32,6 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hybrid.diagnostics import SchedulerDiagnostics
+from repro.matching import kernels
 from repro.utils.validation import VOLUME_TOL, check_demand_matrix
 
 #: Bounded repair attempts before QuickStuff accepts the imbalance.
@@ -83,29 +84,42 @@ def quick_stuff_diagnosed(
     rows, cols = np.nonzero(stuffed > VOLUME_TOL)
     order = np.argsort(-stuffed[rows, cols], kind="stable")
     rows, cols = rows[order], cols[order]
-    row_list = rows.tolist()
-    col_list = cols.tolist()
-    rs = row_sums.tolist()
-    cs = col_sums.tolist()
-    added = [0.0] * len(row_list)
-    for k, (i, j) in enumerate(zip(row_list, col_list)):
-        ri, cj = rs[i], cs[j]
-        slack = min(phi - ri, phi - cj)
-        if slack > 0:
-            added[k] = slack
-            rs[i] = ri + slack
-            cs[j] = cj + slack
-    stuffed[rows, cols] += added  # (rows, cols) pairs are unique
-    row_sums = np.array(rs)
-    col_sums = np.array(cs)
+    if kernels.kernels_active():
+        # Kernel backend: the same scan through kernels.quick_stuff_pass1
+        # (numba-compiled when available, identical float64 arithmetic).
+        added = kernels.quick_stuff_pass1(rows, cols, row_sums, col_sums, phi)
+        stuffed[rows, cols] += added  # (rows, cols) pairs are unique
+    else:
+        row_list = rows.tolist()
+        col_list = cols.tolist()
+        rs = row_sums.tolist()
+        cs = col_sums.tolist()
+        added = [0.0] * len(row_list)
+        for k, (i, j) in enumerate(zip(row_list, col_list)):
+            ri, cj = rs[i], cs[j]
+            slack = min(phi - ri, phi - cj)
+            if slack > 0:
+                added[k] = slack
+                rs[i] = ri + slack
+                cs[j] = cj + slack
+        stuffed[rows, cols] += added  # (rows, cols) pairs are unique
+        row_sums = np.array(rs)
+        col_sums = np.array(cs)
 
     # Pass 2: pair remaining row slack with column slack on any entries.
     # Total row slack equals total column slack, so a greedy pairing always
     # terminates: each step zeroes at least one port's slack.
     row_slack = phi - row_sums
     col_slack = phi - col_sums
-    open_rows = [int(i) for i in np.argsort(-row_slack) if row_slack[i] > VOLUME_TOL]
-    open_cols = [int(j) for j in np.argsort(-col_slack) if col_slack[j] > VOLUME_TOL]
+    # kind="stable" (as in pass 1): the default introsort orders tied
+    # slacks differently across numpy versions/platforms, breaking the
+    # repo's bit-identity guarantees on demands with duplicated loads.
+    open_rows = [
+        int(i) for i in np.argsort(-row_slack, kind="stable") if row_slack[i] > VOLUME_TOL
+    ]
+    open_cols = [
+        int(j) for j in np.argsort(-col_slack, kind="stable") if col_slack[j] > VOLUME_TOL
+    ]
     ri = ci = 0
     while ri < len(open_rows) and ci < len(open_cols):
         i, j = open_rows[ri], open_cols[ci]
@@ -170,8 +184,14 @@ def _repair_round(stuffed: np.ndarray, phi: float) -> "tuple[float, float]":
     phi = float(max(phi, row_sums.max(), col_sums.max()))
     row_slack = phi - row_sums
     col_slack = phi - col_sums
-    open_rows = [int(i) for i in np.argsort(-row_slack) if row_slack[i] > 0]
-    open_cols = [int(j) for j in np.argsort(-col_slack) if col_slack[j] > 0]
+    # Stable for the same reason as pass 2: tied residual slacks must pair
+    # identically on every platform.
+    open_rows = [
+        int(i) for i in np.argsort(-row_slack, kind="stable") if row_slack[i] > 0
+    ]
+    open_cols = [
+        int(j) for j in np.argsort(-col_slack, kind="stable") if col_slack[j] > 0
+    ]
     ri = ci = 0
     while ri < len(open_rows) and ci < len(open_cols):
         i, j = open_rows[ri], open_cols[ci]

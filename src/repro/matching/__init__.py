@@ -7,17 +7,35 @@
 * :func:`birkhoff_von_neumann` — decomposition of an equal-row/column-sum
   matrix into weighted permutations; used as a test oracle and by the
   offline-execution extension.
+* :mod:`repro.matching.kernels` — the fast kernel implementations behind
+  the ``REPRO_KERNELS`` backend switch (:func:`backend`,
+  :func:`set_backend`, :func:`use_backend`, :func:`kernels_active`);
+  ``REPRO_KERNELS=oracle`` pins the original pure-Python paths.
 """
 
 from repro.matching.birkhoff import BirkhoffTerm, birkhoff_von_neumann
 from repro.matching.hopcroft_karp import has_perfect_matching, hopcroft_karp, matching_to_permutation
+from repro.matching.kernels import (
+    KERNEL,
+    ORACLE,
+    backend,
+    kernels_active,
+    set_backend,
+    use_backend,
+)
 from repro.matching.max_weight import max_weight_matching
 
 __all__ = [
     "BirkhoffTerm",
+    "KERNEL",
+    "ORACLE",
+    "backend",
     "birkhoff_von_neumann",
     "has_perfect_matching",
     "hopcroft_karp",
+    "kernels_active",
     "matching_to_permutation",
     "max_weight_matching",
+    "set_backend",
+    "use_backend",
 ]

@@ -72,14 +72,42 @@ def hopcroft_karp(adjacency: "list[list[int]]", n_right: int) -> "tuple[np.ndarr
                     queue.append(nxt)
         return found_free
 
-    def dfs(u: int) -> bool:
-        for v in adjacency[u]:
-            nxt = match_right[v]
-            if nxt == UNMATCHED or (dist[nxt] == dist[u] + 1 and dfs(nxt)):
-                match_left[u] = v
-                match_right[v] = u
-                return True
-        dist[u] = inf
+    def dfs(root: int) -> bool:
+        # Explicit-stack DFS: the recursive formulation recurses once per
+        # augmenting-path hop, and at radix >= ~500 a single path can blow
+        # Python's default 1000-frame recursion limit.  Frames are
+        # ``[u, next_neighbour_index, edge_taken]`` and are visited in the
+        # exact order of the recursive version, so results are bit-identical.
+        stack: "list[list[int]]" = [[root, 0, -1]]
+        while stack:
+            frame = stack[-1]
+            u, idx = frame[0], frame[1]
+            neighbours = adjacency[u]
+            descended = False
+            while idx < len(neighbours):
+                v = neighbours[idx]
+                idx += 1
+                nxt = match_right[v]
+                if nxt == UNMATCHED:
+                    # Augmenting path found: flip the edge here, then the
+                    # pending edge of every frame on the way back up.
+                    match_left[u] = v
+                    match_right[v] = u
+                    stack.pop()
+                    while stack:
+                        parent = stack.pop()
+                        match_left[parent[0]] = parent[2]
+                        match_right[parent[2]] = parent[0]
+                    return True
+                if dist[nxt] == dist[u] + 1:
+                    frame[1] = idx
+                    frame[2] = v
+                    stack.append([nxt, 0, -1])
+                    descended = True
+                    break
+            if not descended:
+                dist[u] = inf
+                stack.pop()
         return False
 
     size = 0

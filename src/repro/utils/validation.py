@@ -69,11 +69,17 @@ def check_permutation(perm: np.ndarray, *, partial: bool = True) -> np.ndarray:
     arr = np.asarray(perm)
     if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
         raise ValueError(f"permutation must be square 2-D, got shape {arr.shape}")
-    values = np.unique(arr)
-    if not np.all(np.isin(values, (0, 1))):
-        raise ValueError("permutation entries must be 0 or 1")
-    rows = arr.sum(axis=1)
-    cols = arr.sum(axis=0)
+    if arr.dtype == np.bool_ or np.issubdtype(arr.dtype, np.integer):
+        # Integral entries are 0/1 iff min and max are — two cheap
+        # reductions instead of np.unique + isin on the full matrix.
+        if arr.size and (arr.min() < 0 or arr.max() > 1):
+            raise ValueError("permutation entries must be 0 or 1")
+    else:
+        values = np.unique(arr)
+        if not np.all(np.isin(values, (0, 1))):
+            raise ValueError("permutation entries must be 0 or 1")
+    rows = np.count_nonzero(arr, axis=1)
+    cols = np.count_nonzero(arr, axis=0)
     if partial:
         if np.any(rows > 1) or np.any(cols > 1):
             raise ValueError("partial permutation has a row or column with >1 entry")

@@ -62,7 +62,9 @@ class TestSolsticePipeline:
             62.467477300666985
         )
         result = simulate_cp(typical_spec.demand, cp_schedule, params)
-        assert result.completion_time == pytest.approx(3.4302476589197295)
+        # Re-derived for the stable pass-2 slack sort in QuickStuff (tied
+        # slacks in this integer-valued workload now pair in stable order).
+        assert result.completion_time == pytest.approx(3.2687220276646385)
         # The schedule delivers the entire filtered demand via composites.
         assert result.served_composite == pytest.approx(62.46747730066699)
 

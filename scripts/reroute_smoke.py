@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""CI smoke for fast-reroute: kill a composite port mid-epoch, demand recovery.
+
+Scenario (the tentpole acceptance criterion of the fast-reroute work):
+
+1. schedule the covering workload — every filtered entry lies on both a
+   granted one-to-many row and a granted many-to-one column, so surviving
+   grants can re-serve a dead path's orphans — and precompute the
+   :class:`~repro.faults.reroute.BackupSet`;
+2. kill one *granted* many-to-one composite port deterministically (a null
+   fault plan plus ``mark_dead``: no entropy, the outage is discovered at
+   the port's first grant, mid-schedule);
+3. execute the same schedule twice under the same kill, horizon = the
+   schedule's makespan: once degrading to EPS (seed behaviour), once with
+   the backups armed;
+4. assert recovery took less than one phase (δ + the longest hold), that
+   fast-reroute stranded strictly less volume than degrade-to-EPS, that
+   both conservation ledgers balance, and that a fault-free run with
+   backups armed is bit-identical to one without;
+5. on any failure, dump a traced re-run of the reroute arm (span JSONL +
+   metrics snapshot) into ``--workdir`` for the uploaded CI artifact.
+
+Exit code 0 = pass.  Used by CI (see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.core.config import FilterConfig  # noqa: E402
+from repro.core.scheduler import CpSwitchScheduler  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+from repro.faults.reroute import BackupPlanner, backup_key  # noqa: E402
+from repro.hybrid.solstice import SolsticeScheduler  # noqa: E402
+from repro.sim import simulate_cp  # noqa: E402
+from repro.switch.params import fast_ocs_params  # noqa: E402
+
+N = 16
+
+
+def covering_demand() -> np.ndarray:
+    """See tests/test_reroute.py — the validated covering workload."""
+    demand = np.zeros((N, N))
+    demand[0, 1:9] = 1.0
+    demand[9:14, 1:9] = 1.0
+    demand[14, 15] = 40.0
+    return demand
+
+
+def killer(kind: str, port: int):
+    injector = FaultPlan().injector(N)
+    injector.mark_dead(kind, [port])
+    return injector
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workdir", default=None, help="artifact directory (default: mkdtemp)"
+    )
+    args = parser.parse_args(argv)
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="reroute-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    params = fast_ocs_params(N)
+    demand = covering_demand()
+    scheduler = CpSwitchScheduler(
+        SolsticeScheduler(),
+        filter_config=FilterConfig(fanout_threshold=4, volume_threshold=2.0),
+    )
+    cp_schedule = scheduler.schedule(demand, params)
+    backups = BackupPlanner(scheduler).plan(demand, cp_schedule, params)
+    granted_m2o = sorted(p for kind, p in backups.per_port if kind == "m2o")
+    if not granted_m2o:
+        print("FAIL: covering workload granted no m2o composite port", file=sys.stderr)
+        return 1
+    kill = ("m2o", granted_m2o[0])
+    horizon = cp_schedule.makespan
+    print(
+        f"primary schedule: {len(cp_schedule.entries)} configs, "
+        f"makespan {horizon:.3f} ms, {backups.n_armed} backups armed "
+        f"(planned in {backups.plan_seconds * 1e3:.2f} ms); "
+        f"killing {backup_key(*kill)} mid-epoch"
+    )
+
+    failures: "list[str]" = []
+
+    def check(ok: bool, ok_msg: str, fail_msg: str) -> bool:
+        if ok:
+            print(f"ok: {ok_msg}")
+        else:
+            failures.append(f"FAIL: {fail_msg}")
+        return ok
+
+    degrade = simulate_cp(
+        demand, cp_schedule, params, horizon=horizon, faults=killer(*kill)
+    )
+    reroute = simulate_cp(
+        demand,
+        cp_schedule,
+        params,
+        horizon=horizon,
+        faults=killer(*kill),
+        backups=backups,
+    )
+    for label, result in (("degrade", degrade), ("reroute", reroute)):
+        try:
+            result.check_conservation()
+            print(f"ok: {label} conservation ledger balances")
+        except AssertionError as exc:
+            failures.append(f"FAIL: {label} conservation violated: {exc}")
+
+    outcome = reroute.reroute
+    if check(
+        outcome is not None and outcome.n_swaps == 1,
+        "one swap fired",
+        f"expected exactly one swap, got "
+        f"{outcome.n_swaps if outcome else 'no outcome'}",
+    ):
+        swap = outcome.swaps[0]
+        print(
+            f"    {swap.key} detected at {swap.detected_ms:.3f} ms, "
+            f"re-parked {outcome.reparked_mb:.2f} Mb"
+        )
+        max_phase = params.reconfig_delay + max(
+            entry.duration for entry in cp_schedule.entries
+        )
+        check(
+            0.0 <= outcome.recovery_ms < max_phase,
+            f"recovery {outcome.recovery_ms:.3f} ms < one phase ({max_phase:.3f} ms)",
+            f"recovery took {outcome.recovery_ms:.3f} ms, not under one phase "
+            f"({max_phase:.3f} ms)",
+        )
+
+    delta = degrade.stranded_volume - reroute.stranded_volume
+    check(
+        delta > 1e-9,
+        f"stranded {reroute.stranded_volume:.3f} Mb vs degrade "
+        f"{degrade.stranded_volume:.3f} Mb (saved {delta:.3f} Mb)",
+        f"fast-reroute stranded {reroute.stranded_volume:.3f} Mb, not strictly "
+        f"less than degrade-to-EPS {degrade.stranded_volume:.3f} Mb",
+    )
+
+    plain = simulate_cp(demand, cp_schedule, params)
+    armed = simulate_cp(
+        demand, cp_schedule, params, faults=FaultPlan(), backups=backups
+    )
+    check(
+        np.array_equal(plain.finish_times, armed.finish_times, equal_nan=True)
+        and plain.served_eps == armed.served_eps
+        and plain.served_composite == armed.served_composite,
+        "fault-free run with backups armed is bit-identical to seed",
+        "fault-free run with backups armed diverged from seed",
+    )
+
+    if failures:
+        for message in failures:
+            print(message, file=sys.stderr)
+        # Leave a scene of the crime: a traced re-run of the reroute arm.
+        tracer, registry = obs.JsonlTracer(), obs.MetricsRegistry()
+        with obs.observability(tracer=tracer, metrics=registry):
+            traced = simulate_cp(
+                demand,
+                cp_schedule,
+                params,
+                horizon=horizon,
+                faults=killer(*kill),
+                backups=backups,
+            )
+        trace_path = workdir / "reroute_trace.jsonl"
+        tracer.dump(
+            trace_path,
+            meta={"command": "reroute_smoke", "kill": backup_key(*kill)},
+            metrics_snapshot=registry.snapshot(),
+        )
+        summary = {
+            "kill": backup_key(*kill),
+            "degrade_stranded": degrade.stranded_volume,
+            "reroute_stranded": reroute.stranded_volume,
+            "outcome": traced.reroute.to_dict() if traced.reroute else None,
+            "failures": failures,
+        }
+        (workdir / "reroute_summary.json").write_text(
+            json.dumps(summary, indent=2) + "\n"
+        )
+        print(f"diagnostic trace written to {trace_path}", file=sys.stderr)
+        return 1
+
+    print(
+        f"fast-reroute smoke OK: 1 swap, recovery {outcome.recovery_ms:.3f} ms, "
+        f"{delta:.3f} Mb less stranded than degrade-to-EPS, "
+        f"fault-free runs bit-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

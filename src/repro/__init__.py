@@ -46,7 +46,16 @@ from repro.core import (
     divide_by_type,
 )
 from repro.core.multipath import MultiPathCpScheduler, multi_path_reduction
-from repro.faults import FaultInjector, FaultPlan, FaultSummary
+from repro.faults import (
+    BackupPlanner,
+    BackupSchedule,
+    BackupSet,
+    FaultInjector,
+    FaultPlan,
+    FaultSummary,
+    RerouteOutcome,
+    SwapEvent,
+)
 from repro.hybrid import (
     EclipseScheduler,
     Schedule,
@@ -63,11 +72,21 @@ from repro.workloads import (
     TypicalBackgroundWorkload,
     VaryingSkewWorkload,
 )
-from repro.workloads.coflows import Coflow, CoflowMixWorkload, CoflowSet, CoflowType
+from repro.workloads.coflows import (
+    BurstyCoflowWorkload,
+    Coflow,
+    CoflowMixWorkload,
+    CoflowSet,
+    CoflowType,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackupPlanner",
+    "BackupSchedule",
+    "BackupSet",
+    "BurstyCoflowWorkload",
     "Coflow",
     "CoflowMixWorkload",
     "CoflowSet",
@@ -86,11 +105,13 @@ __all__ = [
     "MultiPathCpScheduler",
     "OcsClass",
     "ReducedDemand",
+    "RerouteOutcome",
     "Schedule",
     "ScheduleEntry",
     "SimulationResult",
     "SkewedWorkload",
     "SolsticeScheduler",
+    "SwapEvent",
     "SwitchParams",
     "TdmScheduler",
     "TypicalBackgroundWorkload",

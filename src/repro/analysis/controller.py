@@ -38,6 +38,7 @@ import numpy as np
 from repro import obs
 from repro.core.scheduler import CpSwitchScheduler
 from repro.faults.plan import FaultPlan
+from repro.faults.reroute import BackupPlanner
 from repro.hybrid.base import HybridScheduler
 from repro.runner.journal import RunJournal
 from repro.sim import simulate_cp, simulate_hybrid
@@ -60,6 +61,11 @@ class EpochReport:
     paths to the regular paths during the epoch; ``dead_o2m``/``dead_m2o``
     are the composite ports known dead *after* the epoch — the next
     scheduling round excludes them.
+
+    With fast-reroute enabled, ``backups_armed`` / ``backup_plan_ms``
+    record the per-epoch backup precompute, and ``reroute_swaps`` /
+    ``recovery_ms`` / ``reparked_mb`` the mid-epoch swaps executed
+    (``recovery_ms`` is the worst detection-to-resumption latency).
     """
 
     epoch: int
@@ -74,6 +80,11 @@ class EpochReport:
     released_composite: float = 0.0
     dead_o2m: "tuple[int, ...]" = ()
     dead_m2o: "tuple[int, ...]" = ()
+    backups_armed: int = 0
+    backup_plan_ms: float = 0.0
+    reroute_swaps: int = 0
+    recovery_ms: float = 0.0
+    reparked_mb: float = 0.0
 
     @property
     def kept_up(self) -> bool:
@@ -103,6 +114,13 @@ class EpochController:
         Optional :class:`~repro.faults.plan.FaultPlan` injected into every
         epoch's execution (stream = epoch index).  Composite ports observed
         dead are excluded from all subsequent scheduling rounds.
+    fast_reroute:
+        Precompute a :class:`~repro.faults.reroute.BackupSet` for every
+        epoch's cp-Switch schedule and arm the simulator's mid-epoch
+        hot-swap: a composite-port outage recovers at the current phase
+        boundary instead of degrading to an EPS-only drain for the rest of
+        the epoch.  Requires ``use_composite_paths``; fault-free epochs are
+        bit-identical with or without it.
     journal:
         Optional :class:`~repro.runner.journal.RunJournal` receiving one
         ``epoch`` record (the :class:`EpochReport` fields plus any
@@ -116,14 +134,23 @@ class EpochController:
     epoch_duration: "float | None" = None
     fault_plan: "FaultPlan | None" = None
     journal: "RunJournal | None" = None
+    fast_reroute: bool = False
     _voqs: VirtualOutputQueues = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.epoch_duration is not None and self.epoch_duration <= 0:
             raise ValueError(f"epoch_duration must be positive, got {self.epoch_duration}")
+        if self.fast_reroute and not self.use_composite_paths:
+            raise ValueError(
+                "fast_reroute repairs composite-path outages; it requires "
+                "use_composite_paths=True"
+            )
         self._voqs = VirtualOutputQueues(self.params.n_ports)
         self._cp_scheduler = (
             CpSwitchScheduler(self.scheduler) if self.use_composite_paths else None
+        )
+        self._planner = (
+            BackupPlanner(self._cp_scheduler) if self.fast_reroute else None
         )
         self._dead_o2m: "set[int]" = set()
         self._dead_m2o: "set[int]" = set()
@@ -174,6 +201,8 @@ class EpochController:
             # that failed during execution is excluded from future rounds.
             self._dead_o2m.update(result.fault_summary.dead_o2m_ports)
             self._dead_m2o.update(result.fault_summary.dead_m2o_ports)
+        backups = getattr(self, "_last_backups", None)
+        outcome = result.reroute
         report = EpochReport(
             epoch=epoch,
             offered_volume=offered,
@@ -187,6 +216,11 @@ class EpochController:
             released_composite=result.released_composite,
             dead_o2m=tuple(sorted(self._dead_o2m)),
             dead_m2o=tuple(sorted(self._dead_m2o)),
+            backups_armed=backups.n_armed if backups is not None else 0,
+            backup_plan_ms=backups.plan_seconds * 1e3 if backups is not None else 0.0,
+            reroute_swaps=outcome.n_swaps if outcome is not None else 0,
+            recovery_ms=outcome.recovery_ms if outcome is not None else 0.0,
+            reparked_mb=outcome.reparked_mb if outcome is not None else 0.0,
         )
         if self.journal is not None:
             diagnostics = [
@@ -208,6 +242,7 @@ class EpochController:
                 stranded_mb=report.stranded_volume,
                 configs=report.n_configs,
                 dead_ports=len(report.dead_o2m) + len(report.dead_m2o),
+                reroute_swaps=report.reroute_swaps,
             )
             metrics = obs.get_metrics()
             if metrics.enabled:
@@ -237,6 +272,7 @@ class EpochController:
     # ------------------------------------------------------------------ #
 
     def _execute(self, demand: np.ndarray, epoch: int = 0) -> SimulationResult:
+        self._last_backups = None
         injector = None
         if self.fault_plan is not None:
             injector = self.fault_plan.injector(self.params.n_ports, stream=epoch)
@@ -251,12 +287,23 @@ class EpochController:
                 blocked_o2m=self._dead_o2m or None,
                 blocked_m2o=self._dead_m2o or None,
             )
+            backups = None
+            if self._planner is not None:
+                backups = self._planner.plan(
+                    demand,
+                    cp_schedule,
+                    self.params,
+                    blocked_o2m=self._dead_o2m,
+                    blocked_m2o=self._dead_m2o,
+                )
+            self._last_backups = backups
             return simulate_cp(
                 demand,
                 cp_schedule,
                 self.params,
                 horizon=self.epoch_duration,
                 faults=injector,
+                backups=backups,
             )
         schedule = self.scheduler.schedule(demand, self.params)
         return simulate_hybrid(

@@ -267,6 +267,84 @@ def degradation_curve(
     return points
 
 
+@dataclass(frozen=True)
+class ReroutePoint:
+    """One outage rate of the fast-reroute comparison (trial means).
+
+    ``degrade_stranded``/``reroute_stranded`` are the mean volumes (Mb)
+    left undelivered at the schedule-makespan horizon without/with
+    fast-reroute; ``swaps`` is the mean number of mid-run backup swaps and
+    ``recovery_ms`` the mean worst-case detection-to-resumption latency of
+    the trials that actually swapped.
+    """
+
+    fault_rate: float
+    degrade_stranded: float
+    reroute_stranded: float
+    swaps: float
+    recovery_ms: float
+    n_ports: int
+
+    @property
+    def stranded_delta(self) -> float:
+        """Stranded volume (Mb) fast-reroute recovered within the window."""
+        return self.degrade_stranded - self.reroute_stranded
+
+
+def reroute_curve(
+    ocs: str,
+    radix: int = 32,
+    fault_rates: "tuple[float, ...]" = DEFAULT_FAULT_RATES,
+    n_trials: "int | None" = None,
+    seed: int = DEFAULT_SEED,
+) -> "list[ReroutePoint]":
+    """Fast-reroute vs degrade-to-EPS stranded volume versus outage rate.
+
+    The recovery counterpart of :func:`degradation_curve`: the same
+    workload/scheduler pairing and the same per-(rate, trial) plan seed
+    formula, but with an *outage-only* plan
+    (:func:`repro.analysis.robustness.outage_plan`) so the two arms differ
+    only in how a dead composite port is handled — released to the EPS
+    (seed behaviour) or hot-swapped to the precomputed backup.  At rate 0
+    the arms are bit-identical and both strand whatever the makespan
+    horizon leaves; as the rate grows the degrade arm strands more while
+    fast-reroute re-parks the orphaned demand onto surviving grants.
+    """
+    from repro.analysis.robustness import outage_plan, reroute_trial
+
+    params = params_for(ocs, radix)
+    workload = SkewedWorkload.for_params(params)
+    scheduler = SolsticeScheduler()
+    resolved_trials = n_trials if n_trials is not None else default_trials()
+    demands = [
+        workload.generate(radix, rng).demand
+        for rng in spawn_rngs(seed, resolved_trials)
+    ]
+    points = []
+    for rate_index, rate in enumerate(fault_rates):
+        degrade_stranded, reroute_stranded, swaps, recoveries = [], [], [], []
+        for trial, demand in enumerate(demands):
+            plan = outage_plan(rate, seed=seed + 7919 * rate_index + trial)
+            degrade, reroute = reroute_trial(demand, scheduler, params, plan)
+            degrade_stranded.append(degrade.stranded_volume)
+            reroute_stranded.append(reroute.stranded_volume)
+            outcome = reroute.reroute
+            swaps.append(outcome.n_swaps if outcome is not None else 0)
+            if outcome is not None and outcome.n_swaps:
+                recoveries.append(outcome.recovery_ms)
+        points.append(
+            ReroutePoint(
+                fault_rate=float(rate),
+                degrade_stranded=float(np.mean(degrade_stranded)),
+                reroute_stranded=float(np.mean(reroute_stranded)),
+                swaps=float(np.mean(swaps)),
+                recovery_ms=float(np.mean(recoveries)) if recoveries else 0.0,
+                n_ports=radix,
+            )
+        )
+    return points
+
+
 # ---------------------------------------------------------------------- #
 # tables
 # ---------------------------------------------------------------------- #

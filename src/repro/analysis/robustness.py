@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.scheduler import CpSchedule, CpSwitchScheduler
 from repro.faults.plan import FaultPlan
+from repro.faults.reroute import BackupPlanner
 from repro.hybrid.base import HybridScheduler
 from repro.hybrid.schedule import Schedule
 from repro.sim.cp_sim import _run as _run_cp
@@ -252,6 +253,83 @@ def fault_rate_trial(
         "h": h_result.completion_time,
         "cp": cp_result.completion_time,
         "released": cp_result.released_composite,
+    }
+
+
+def outage_plan(rate: float, seed: int = 0) -> FaultPlan:
+    """A plan injecting *only* composite-port outages at ``rate``.
+
+    The fast-reroute experiments isolate the failure class the backup
+    schedules repair; mixing in reconfiguration/circuit faults would move
+    both arms of the comparison identically and only add variance.
+    """
+    return FaultPlan(seed=seed, o2m_outage_rate=rate, m2o_outage_rate=rate)
+
+
+def reroute_trial(
+    true_demand: np.ndarray,
+    scheduler: HybridScheduler,
+    params: SwitchParams,
+    plan: FaultPlan,
+    horizon: "float | None" = None,
+) -> "tuple[SimulationResult, SimulationResult]":
+    """One (degrade-to-EPS result, fast-reroute result) pair.
+
+    The same cp-Switch schedule executes twice under independent
+    realizations of ``plan`` (same seed → same outage draws, since both
+    executions grant composite ports in the same order): once with the
+    seed behaviour — a dead path's parked demand is released to the
+    regular paths and drains on the EPS — and once with a precomputed
+    :class:`~repro.faults.reroute.BackupSet` armed.  ``horizon`` defaults
+    to the schedule's makespan, the window in which stranded volume is
+    visible (run-to-completion drains everything and hides the recovery
+    gap).  Conservation is checked for both results.
+    """
+    cp_scheduler = CpSwitchScheduler(scheduler)
+    cp_schedule = cp_scheduler.schedule(true_demand, params)
+    if horizon is None:
+        horizon = cp_schedule.makespan
+    backups = BackupPlanner(cp_scheduler).plan(true_demand, cp_schedule, params)
+    degrade = simulate_cp(true_demand, cp_schedule, params, horizon=horizon, faults=plan)
+    reroute = simulate_cp(
+        true_demand, cp_schedule, params, horizon=horizon, faults=plan, backups=backups
+    )
+    degrade.check_conservation()
+    reroute.check_conservation()
+    return degrade, reroute
+
+
+def reroute_rate_trial(
+    *,
+    ocs: str,
+    radix: int,
+    seed: int = 2016,
+    trial: int = 0,
+    rate: float = 0.0,
+    rate_index: int = 0,
+) -> dict:
+    """One journaled fast-reroute-vs-degrade trial (JSON in, JSON out).
+
+    Executes the cp-Switch schedule under an outage-only plan at ``rate``
+    with and without fast-reroute; the plan seed matches the fault sweep's
+    formula so journaled and sequential runs agree bit-for-bit.
+    """
+    from repro.hybrid.solstice import SolsticeScheduler
+    from repro.switch.params import ocs_params
+
+    params = ocs_params(ocs, radix)
+    demand = _sweep_demand(ocs, radix, seed, trial)
+    plan = outage_plan(rate, seed=seed + 7919 * rate_index + trial)
+    degrade, reroute = reroute_trial(demand, SolsticeScheduler(), params, plan)
+    outcome = reroute.reroute
+    return {
+        "trial": trial,
+        "rate": float(rate),
+        "degrade_stranded": degrade.stranded_volume,
+        "reroute_stranded": reroute.stranded_volume,
+        "swaps": outcome.n_swaps if outcome is not None else 0,
+        "recovery_ms": outcome.recovery_ms if outcome is not None else 0.0,
+        "reparked": outcome.reparked_mb if outcome is not None else 0.0,
     }
 
 

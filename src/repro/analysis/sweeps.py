@@ -45,6 +45,7 @@ _COMPARISON_FN = "repro.analysis.experiment:comparison_trial"
 _COMPARISON_DEMAND_FN = "repro.analysis.experiment:comparison_demand"
 _ERROR_FN = "repro.analysis.robustness:error_trial"
 _FAULT_FN = "repro.analysis.robustness:fault_rate_trial"
+_REROUTE_FN = "repro.analysis.robustness:reroute_rate_trial"
 _ROBUSTNESS_DEMAND_FN = "repro.analysis.robustness:robustness_demand"
 
 
@@ -156,9 +157,31 @@ def robustness_specs(
     seed: int = 2016,
     fault_rates: "tuple[float, ...]" = (),
     error_rates: "tuple[float, ...]" = (),
+    reroute: bool = False,
 ) -> "list[TrialSpec]":
-    """Specs of the robustness command's two sweeps (fault + error)."""
+    """Specs of the robustness command's sweeps (fault + error, and with
+    ``reroute`` a fast-reroute-vs-degrade arm per fault rate)."""
     specs: "list[TrialSpec]" = []
+    if reroute:
+        for rate_index, rate in enumerate(fault_rates):
+            experiment = f"reroute-{ocs}-r{radix}@{rate:g}"
+            for trial in range(trials):
+                specs.append(
+                    TrialSpec(
+                        experiment=experiment,
+                        key=f"{experiment}:{trial:04d}",
+                        fn=_REROUTE_FN,
+                        kwargs={
+                            "ocs": ocs,
+                            "radix": radix,
+                            "seed": seed,
+                            "trial": trial,
+                            "rate": float(rate),
+                            "rate_index": rate_index,
+                        },
+                        demand_fn=_ROBUSTNESS_DEMAND_FN,
+                    )
+                )
     for rate_index, rate in enumerate(fault_rates):
         experiment = f"fault-{ocs}-r{radix}@{rate:g}"
         for trial in range(trials):

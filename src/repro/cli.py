@@ -347,6 +347,7 @@ def _print_robustness(sweep_args: dict, specs, completed: dict) -> None:
     groups = group_payloads(specs, completed)
     fault_rows = []
     error_rows = []
+    reroute_rows = []
     for experiment, payloads in groups.items():
         if not payloads:
             print(f"warning: {experiment}: all trials failed; point omitted", file=sys.stderr)
@@ -361,6 +362,20 @@ def _print_robustness(sweep_args: dict, specs, completed: dict) -> None:
                     cp_mean,
                     h_mean / cp_mean if cp_mean else float("inf"),
                     float(np.mean([p["released"] for p in payloads])),
+                ]
+            )
+        elif experiment.startswith("reroute-"):
+            degrade = float(np.mean([p["degrade_stranded"] for p in payloads]))
+            reroute = float(np.mean([p["reroute_stranded"] for p in payloads]))
+            recoveries = [p["recovery_ms"] for p in payloads if p["swaps"]]
+            reroute_rows.append(
+                [
+                    payloads[0]["rate"],
+                    degrade,
+                    reroute,
+                    degrade - reroute,
+                    float(np.mean([p["swaps"] for p in payloads])),
+                    float(np.mean(recoveries)) if recoveries else 0.0,
                 ]
             )
         else:
@@ -397,6 +412,25 @@ def _print_robustness(sweep_args: dict, specs, completed: dict) -> None:
             ),
         )
     )
+    if reroute_rows:
+        print()
+        print(
+            format_table(
+                [
+                    "outage rate",
+                    "degrade stranded (Mb)",
+                    "reroute stranded (Mb)",
+                    "delta (Mb)",
+                    "swaps",
+                    "recovery (ms)",
+                ],
+                reroute_rows,
+                title=(
+                    "fast-reroute vs degrade-to-EPS — skewed workload, "
+                    f"radix {radix}, {ocs} OCS, solstice, {sweep_args['trials']} trials"
+                ),
+            )
+        )
 
 
 def cmd_robustness(args) -> int:
@@ -417,6 +451,7 @@ def cmd_robustness(args) -> int:
         "seed": args.seed,
         "fault_rates": list(fault_rates),
         "error_rates": list(error_rates),
+        "fast_reroute": bool(args.fast_reroute),
     }
     specs = robustness_specs(
         ocs=args.ocs,
@@ -425,6 +460,7 @@ def cmd_robustness(args) -> int:
         seed=args.seed,
         fault_rates=fault_rates,
         error_rates=error_rates,
+        reroute=args.fast_reroute,
     )
     result, _journal = _run_sweep(args, "robustness", sweep_args, specs)
     if not result.completed:
@@ -744,6 +780,12 @@ def _add_robustness_args(p) -> None:
         "--error-rates",
         default="0,0.1,0.3",
         help="comma-separated estimation-error levels (applied as noise, staleness and miss rate)",
+    )
+    p.add_argument(
+        "--fast-reroute",
+        action="store_true",
+        help="add a fast-reroute-vs-degrade arm per fault rate (outage-only "
+        "plans; reports stranded-volume and recovery-time deltas)",
     )
     _add_runner_args(p)
     _add_obs_args(p)

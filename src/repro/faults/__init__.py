@@ -9,14 +9,32 @@ schedule still conserves volume: failed circuits serve zero rate, demand
 parked on a dead composite path falls back to the regular EPS/OCS paths,
 and :meth:`repro.sim.metrics.SimulationResult.check_conservation` holds
 under every fault mix.
+
+:mod:`repro.faults.reroute` adds the fast-reroute layer on top: per-epoch
+precomputed backup schedules (:class:`BackupPlanner` → :class:`BackupSet`)
+that the simulator hot-swaps to when an outage is discovered mid-run,
+recovering parked demand at the current phase boundary instead of
+degrading to an EPS-only drain.
 """
 
 from repro.faults.injector import FaultInjector, as_injector
 from repro.faults.plan import FaultPlan, FaultSummary
+from repro.faults.reroute import (
+    BackupPlanner,
+    BackupSchedule,
+    BackupSet,
+    RerouteOutcome,
+    SwapEvent,
+)
 
 __all__ = [
+    "BackupPlanner",
+    "BackupSchedule",
+    "BackupSet",
     "FaultInjector",
     "FaultPlan",
     "FaultSummary",
+    "RerouteOutcome",
+    "SwapEvent",
     "as_injector",
 ]

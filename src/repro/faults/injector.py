@@ -152,6 +152,8 @@ class FaultInjector:
         died in epoch *e* must stay dead in epoch *e+1* even though that
         epoch uses a fresh injector.
         """
+        if kind not in ("o2m", "m2o"):
+            raise ValueError(f"kind must be 'o2m' or 'm2o', got {kind!r}")
         dead = self.dead_o2m if kind == "o2m" else self.dead_m2o
         for port in ports:
             dead.add(int(port))

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import platform
+import time
 from pathlib import Path
 
 import numpy as np
@@ -34,6 +35,9 @@ import numpy as np
 from repro import obs
 from repro.analysis.figures import DEFAULT_SEED, params_for
 from repro.analysis.perf import STAGES, _run_pipeline
+from repro.core.scheduler import CpSwitchScheduler
+from repro.faults.reroute import BackupPlanner
+from repro.hybrid.base import make_scheduler
 from repro.utils.fileio import atomic_write_json
 from repro.utils.rng import spawn_rngs
 from repro.workloads.skewed import SkewedWorkload
@@ -58,6 +62,7 @@ _EXACT_QUALITY: "tuple[str, ...]" = (
     "cp_configs",
     "slices",
     "watchdog_trips",
+    "backup_count",
 )
 
 #: Quality fields compared with :data:`QUALITY_RTOL`.
@@ -114,6 +119,25 @@ def measure_point(
             quality = _quality_fingerprint(results, registry.snapshot(), scheduler)
     timing["total"] = sum(timing[stage] for stage in STAGES)
     assert quality is not None
+
+    # Fast-reroute backup precompute: timed against the same demands so
+    # ``obs check`` gates its overhead relative to ``h_schedule`` (the
+    # ISSUE bound is < 10% at radix 128).  Schedules are built once,
+    # outside the timed region — only ``BackupPlanner.plan`` is measured.
+    cp_scheduler = CpSwitchScheduler(make_scheduler(scheduler))
+    planner = BackupPlanner(cp_scheduler)
+    cp_schedules = [cp_scheduler.schedule(demand, params) for demand in demands]
+    backup_s = np.inf
+    backup_count = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        backup_count = sum(
+            planner.plan(demand, cp_schedule, params).n_armed
+            for demand, cp_schedule in zip(demands, cp_schedules)
+        )
+        backup_s = min(backup_s, time.perf_counter() - start)
+    timing["backup_plan"] = backup_s
+    quality["backup_count"] = int(backup_count)
     return {
         "radix": n_ports,
         "scheduler": scheduler,

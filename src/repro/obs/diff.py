@@ -41,13 +41,20 @@ QUALITY_COUNTERS: "frozenset[str]" = frozenset(
         "engine_events_total",
         "engine_dust_snaps_total",
         "controller_epochs_total",
+        "reroute_backups_planned_total",
+        "reroute_swaps_total",
     }
 )
 
 #: Relative tolerance for float-valued quality counters (Mb volumes whose
 #: summation order may legally differ between runs).
 VOLUME_QUALITY_COUNTERS: "frozenset[str]" = frozenset(
-    {"cpsched_composite_volume_mb_total", "engine_composite_released_mb_total"}
+    {
+        "cpsched_composite_volume_mb_total",
+        "engine_composite_released_mb_total",
+        "engine_composite_reparked_mb_total",
+        "reroute_reparked_mb_total",
+    }
 )
 _VOLUME_RTOL: float = 1e-9
 

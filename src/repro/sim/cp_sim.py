@@ -22,6 +22,15 @@ suffer a *permanent outage*: the grant is dropped and the filtered demand
 parked on the dead path is immediately released back to the regular
 EPS/OCS paths — the cp-Switch degrades gracefully toward h-Switch
 behaviour, completion time rises, and volume is never lost.
+
+``backups`` arms fast-reroute (:mod:`repro.faults.reroute`): when an
+outage is discovered mid-run, the matching precomputed backup is swapped
+in at the current phase boundary — orphaned filtered demand is re-parked
+onto composite paths that surviving grants still serve, and the dead
+grants are stripped from the pending tail — instead of degrading to an
+EPS-only drain for the rest of the run.  With no outage (or no injector)
+the armed backups are never consulted and execution is bit-identical to a
+run without them.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ import numpy as np
 from repro.core.multipath import MultiPathCpSchedule
 from repro.core.scheduler import CpSchedule
 from repro.faults.injector import as_injector
+from repro.faults.reroute import RerouteOutcome, RerouteRuntime
 from repro.sim.engine import CompositeService, FluidEngine
 from repro.sim.metrics import SimulationResult
 from repro.switch.params import SwitchParams
@@ -42,6 +52,7 @@ def simulate_cp(
     params: SwitchParams,
     horizon: "float | None" = None,
     faults=None,
+    backups=None,
 ) -> SimulationResult:
     """Execute a base (single path per direction) cp-Switch schedule.
 
@@ -60,6 +71,10 @@ def simulate_cp(
         Optional :class:`~repro.faults.plan.FaultPlan` or pre-built
         :class:`~repro.faults.injector.FaultInjector`; ``None`` executes
         the fault-free model bit-identically to earlier releases.
+    backups:
+        Optional :class:`~repro.faults.reroute.BackupSet` precomputed for
+        ``cp_schedule`` — arms fast-reroute for mid-run composite-port
+        outages.
     """
     def composites_for(entry) -> "list[CompositeService]":
         services: list[CompositeService] = []
@@ -80,6 +95,7 @@ def simulate_cp(
         n_configs=cp_schedule.n_configs,
         makespan=cp_schedule.makespan,
         faults=faults,
+        backups=backups,
     )
 
 
@@ -89,6 +105,7 @@ def simulate_multipath(
     params: SwitchParams,
     horizon: "float | None" = None,
     faults=None,
+    backups=None,
 ) -> SimulationResult:
     """Execute a k-path cp-Switch schedule (§4 extension).
 
@@ -98,6 +115,12 @@ def simulate_multipath(
     paths from double-serving one entry.  A composite-port outage
     (``faults``) kills one (direction, port) lane set; its parked demand
     falls back to the regular paths.
+
+    ``backups`` arms fast-reroute as in :func:`simulate_cp`.  Note that
+    :class:`~repro.faults.reroute.BackupPlanner` only plans for base
+    schedules; a caller arming a k-path run must account for lanes itself —
+    re-parked demand outside every surviving lane waits for the final
+    drain (volume is still conserved).
     """
     reduction = mp_schedule.reduction
 
@@ -122,6 +145,7 @@ def simulate_multipath(
         n_configs=mp_schedule.n_configs,
         makespan=mp_schedule.makespan,
         faults=faults,
+        backups=backups,
     )
 
 
@@ -158,6 +182,7 @@ def _run(
     n_configs: int,
     makespan: float,
     faults=None,
+    backups=None,
 ) -> SimulationResult:
     if horizon is not None and horizon < 0:
         raise ValueError(f"horizon must be non-negative, got {horizon}")
@@ -165,6 +190,13 @@ def _run(
     engine.assign_composite(filtered)
     injector = as_injector(faults, engine.n)
     eps_scale = injector.eps_port_scale if injector is not None else None
+    # Fast-reroute needs an injector to detect outages with; armed backups
+    # without one can never fire (outages only exist inside an injector).
+    reroute = (
+        RerouteRuntime(backups, engine, injector)
+        if backups is not None and injector is not None
+        else None
+    )
 
     def budget(duration: float) -> float:
         if horizon is None:
@@ -172,7 +204,10 @@ def _run(
         return min(duration, max(0.0, horizon - engine.clock))
 
     truncated = False
-    for entry in entries:
+    pending = list(entries)
+    index = 0
+    while index < len(pending):
+        entry = pending[index]
         if horizon is not None and engine.clock >= horizon:
             truncated = True
             break
@@ -189,7 +224,18 @@ def _run(
             composites = composites_for(entry)
             if injector is not None:
                 circuits = injector.surviving_circuits(circuits)
+                granted = len(composites)
                 composites = _surviving_composites(engine, injector, composites)
+                if reroute is not None and len(composites) < granted:
+                    # An outage surfaced on this configuration's grants:
+                    # swap to the matching precomputed backup at this phase
+                    # boundary.  The current configuration keeps running
+                    # with its surviving grants.
+                    pending, composites_for, _ = reroute.on_outage(
+                        pending, index, composites, composites_for
+                    )
+            if reroute is not None:
+                reroute.note_hold(composites)
         else:
             # The whole configuration failed to establish: neither its
             # circuits nor its composite grants exist; parked filtered
@@ -201,24 +247,42 @@ def _run(
             composites=composites,
             eps_port_scale=eps_scale,
         )
+        index += 1
     if horizon is not None and engine.clock >= horizon:
         truncated = True
 
     summary = injector.summary if injector is not None else None
+    if reroute is not None:
+        outcome = None  # filled after the drain decision below
+    elif backups is not None:
+        outcome = RerouteOutcome(backups_armed=backups.n_armed)
+    else:
+        outcome = None
     if horizon is None:
+        if reroute is not None:
+            reroute.note_drain()
+            outcome = reroute.outcome()
         engine.merge_composite_into_regular()
         engine.run_phase(None, eps_port_scale=eps_scale)
         return engine.result(
-            n_configs=n_configs, makespan=makespan, fault_summary=summary
+            n_configs=n_configs,
+            makespan=makespan,
+            fault_summary=summary,
+            reroute=outcome,
         )
     if not truncated:
         # The schedule finished before the horizon: composite leftovers
         # become ordinary packet traffic for the remaining budget.
+        if reroute is not None:
+            reroute.note_drain()
         engine.merge_composite_into_regular()
         engine.run_phase(horizon - engine.clock, eps_port_scale=eps_scale)
+    if reroute is not None:
+        outcome = reroute.outcome()
     return engine.result(
         n_configs=n_configs,
         makespan=makespan,
         allow_residual=True,
         fault_summary=summary,
+        reroute=outcome,
     )

@@ -180,11 +180,32 @@ class FluidEngine:
         self.composite = self.composite + filtered
         self._rebuild_support()
 
-    def merge_composite_into_regular(self) -> None:
-        """Return unfinished composite residual to the EPS (final drain)."""
-        self.regular += self.composite
-        self.composite[:] = 0.0
+    def merge_composite_into_regular(
+        self, mask: "np.ndarray | None" = None
+    ) -> float:
+        """Return unfinished composite residual to the EPS (final drain).
+
+        With ``mask`` (n×n bool) only the masked entries move — the
+        fast-reroute swap un-parks exactly the composite residual no
+        surviving grant of the remaining schedule covers, so the EPS can
+        drain it instead of it sitting parked until the horizon.  Returns
+        the volume (Mb) moved.
+        """
+        if mask is None:
+            moved = float(self.composite.sum())
+            self.regular += self.composite
+            self.composite[:] = 0.0
+        else:
+            if mask.shape != self.composite.shape:
+                raise ValueError(f"mask shape {mask.shape} != demand shape")
+            take = np.where(mask, self.composite, 0.0)
+            moved = float(take.sum())
+            if moved <= 0.0:
+                return 0.0
+            self.regular += take
+            np.maximum(self.composite - take, 0.0, out=self.composite)
         self._rebuild_support()
+        return moved
 
     def release_composite(
         self, kind: str, port: int, lane_mask: "np.ndarray | None" = None
@@ -233,6 +254,39 @@ class FluidEngine:
                 "volume (Mb) re-routed off dead composite paths",
             ).inc(released)
         return released
+
+    def repark_composite(self, filtered: np.ndarray) -> float:
+        """Mid-run repair: move regular residual back onto composite paths.
+
+        The fast-reroute swap (:mod:`repro.faults.reroute`): after a dead
+        path's demand was released (or everything was merged), the backup's
+        parkable demand returns to the composite residual so surviving
+        composite grants serve it at the CPSched rates instead of leaving
+        it to the EPS.  Unlike :meth:`assign_composite` this is legal at
+        any phase boundary; at most ``min(filtered, regular)`` moves (an
+        entry partially served since planning parks only what is left).
+        Returns the volume (Mb) actually re-parked.
+        """
+        filtered = np.asarray(filtered, dtype=np.float64)
+        if filtered.shape != self.regular.shape:
+            raise ValueError(f"filtered shape {filtered.shape} != demand shape")
+        if np.any(filtered < 0.0):
+            raise ValueError("filtered demand must be non-negative")
+        take = np.minimum(filtered, self.regular)
+        take[take <= VOLUME_TOL] = 0.0
+        parked = float(take.sum())
+        if parked <= 0.0:
+            return 0.0
+        self.regular = np.maximum(self.regular - take, 0.0)
+        self.composite = self.composite + take
+        self._rebuild_support()
+        if obs.active():
+            obs.get_tracer().event("engine.composite_repark", reparked_mb=parked)
+            obs.get_metrics().counter(
+                "engine_composite_reparked_mb_total",
+                "volume (Mb) re-parked onto composite paths by fast-reroute",
+            ).inc(parked)
+        return parked
 
     # ------------------------------------------------------------------ #
     # phase execution
@@ -530,6 +584,7 @@ class FluidEngine:
         *,
         allow_residual: bool = False,
         fault_summary=None,
+        reroute=None,
     ) -> SimulationResult:
         """Freeze the engine state into a :class:`SimulationResult`.
 
@@ -537,7 +592,7 @@ class FluidEngine:
         demand is reported instead of rejected; pending entries keep their
         ``nan`` finish times and the completion time becomes ``nan``.
         ``fault_summary`` attaches the injected-fault record of a faulted
-        run.
+        run; ``reroute`` attaches the fast-reroute swap record.
         """
         leftover = self.residual_total()
         if leftover > VOLUME_TOL * max(1, self.n) ** 2 and not allow_residual:
@@ -565,6 +620,7 @@ class FluidEngine:
             residual=(self.regular + self.composite) if allow_residual else None,
             released_composite=self.released_composite,
             fault_summary=fault_summary,
+            reroute=reroute,
         )
         result.check_conservation(tol=1e-6)
         return result

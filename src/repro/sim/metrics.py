@@ -24,6 +24,7 @@ import numpy as np
 
 from repro import obs
 from repro.faults.plan import FaultSummary
+from repro.faults.reroute import RerouteOutcome
 from repro.utils.validation import VOLUME_TOL
 
 
@@ -95,6 +96,10 @@ class SimulationResult:
     fault_summary:
         Record of the faults injected into this run, or ``None`` for a
         fault-free execution.
+    reroute:
+        :class:`~repro.faults.reroute.RerouteOutcome` of a run executed
+        with fast-reroute backups armed (swap events, recovery latency,
+        re-parked volume); ``None`` when the feature was off.
     """
 
     finish_times: np.ndarray
@@ -109,6 +114,7 @@ class SimulationResult:
     residual: "np.ndarray | None" = None
     released_composite: float = 0.0
     fault_summary: "FaultSummary | None" = None
+    reroute: "RerouteOutcome | None" = None
 
     @property
     def residual_total(self) -> float:

@@ -97,9 +97,18 @@ class ReferenceFluidEngine:
         self.regular = np.maximum(self.regular - filtered, 0.0)
         self.composite = self.composite + filtered
 
-    def merge_composite_into_regular(self) -> None:
-        self.regular += self.composite
-        self.composite[:] = 0.0
+    def merge_composite_into_regular(
+        self, mask: "np.ndarray | None" = None
+    ) -> float:
+        if mask is None:
+            moved = float(self.composite.sum())
+            self.regular += self.composite
+            self.composite[:] = 0.0
+            return moved
+        take = np.where(mask, self.composite, 0.0)
+        self.regular += take
+        np.maximum(self.composite - take, 0.0, out=self.composite)
+        return float(take.sum())
 
     def run_phase(
         self,

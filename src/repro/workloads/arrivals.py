@@ -85,6 +85,18 @@ class PoissonArrivals:
         return total * self.intensity
 
 
+def burst_on(epoch: int, period: int, on_epochs: int) -> bool:
+    """Whether a periodic ON/OFF gate is ON at ``epoch``.
+
+    The gate is ON for the first ``on_epochs`` epochs of every ``period``:
+    ``(epoch % period) < on_epochs``.  Shared by :class:`OnOffArrivals`
+    (whole-process tides) and
+    :class:`~repro.workloads.coflows.BurstyCoflowWorkload` (per-flow
+    flowlet bursts), so the two stay in lockstep by construction.
+    """
+    return (epoch % period) < on_epochs
+
+
 @dataclass(frozen=True)
 class OnOffArrivals:
     """Periodic ON/OFF gate over another arrival process.
@@ -105,6 +117,6 @@ class OnOffArrivals:
             )
 
     def __call__(self, epoch: int) -> np.ndarray:
-        if (epoch % self.period) < self.on_epochs:
+        if burst_on(epoch, self.period, self.on_epochs):
             return self.base(epoch)
         return np.zeros((self.base.n_ports, self.base.n_ports))

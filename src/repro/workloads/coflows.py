@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.sim.metrics import SimulationResult
 from repro.utils.rng import ensure_rng
+from repro.workloads.arrivals import burst_on
 from repro.workloads.base import DemandSpec
 
 
@@ -310,3 +311,62 @@ class CoflowMixWorkload:
         lo = max(1, int(np.ceil(self.skewed_fanout_range[0] * n)))
         hi = max(lo, min(n - 1, int(self.skewed_fanout_range[1] * n)))
         return int(rng.integers(lo, hi + 1))
+
+
+@dataclass(frozen=True)
+class BurstyCoflowWorkload:
+    """Flowlet bursts *within* coflows (ROADMAP 5(b)).
+
+    Wraps a :class:`CoflowMixWorkload` and modulates each flow with its own
+    periodic ON/OFF gate (:func:`~repro.workloads.arrivals.burst_on`): flow
+    ``f`` with random phase ``p`` is active at epoch ``e`` iff
+    ``burst_on(e + p, period, on_epochs)``.  Active flows carry
+    ``period / on_epochs`` times their base volume, so the *time-averaged*
+    offered load matches the base workload while any single epoch sees a
+    bursty subset — the flowlet pattern that stresses mid-epoch
+    rescheduling and fast reroute.
+
+    Coflows whose every flow is OFF in a given epoch are dropped from that
+    epoch's set entirely (they contribute no demand and no completion-time
+    entry).
+    """
+
+    base: CoflowMixWorkload = field(default_factory=CoflowMixWorkload)
+    period: int = 4
+    on_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1, got {self.period}")
+        if not (1 <= self.on_epochs <= self.period):
+            raise ValueError(
+                f"on_epochs must be in [1, period={self.period}], got {self.on_epochs}"
+            )
+
+    def build(self, n_ports: int, rng=None, epoch: int = 0) -> CoflowSet:
+        """Draw one coflow set as seen at ``epoch``.
+
+        The base mix and all flow phases are drawn from ``rng`` in a fixed
+        order, so two calls with identically-seeded generators and
+        different ``epoch`` values see the *same* coflows and phases with
+        only the gate shifted — exactly how an epoch controller replays a
+        bursty tenant over time.
+        """
+        rng = ensure_rng(rng)
+        base_set = self.base.build(n_ports, rng)
+        scale = self.period / self.on_epochs
+        bursty = CoflowSet(n_ports)
+        for coflow in base_set:
+            phases = rng.integers(0, self.period, size=len(coflow.flows))
+            active = tuple(
+                Flow(flow.source, flow.destination, flow.volume * scale)
+                for flow, phase in zip(coflow.flows, phases)
+                if burst_on(epoch + int(phase), self.period, self.on_epochs)
+            )
+            if active:
+                bursty.add(Coflow(flows=active, kind=coflow.kind, name=coflow.name))
+        return bursty
+
+    def generate(self, n_ports: int, rng: np.random.Generator) -> DemandSpec:
+        """Workload-protocol adapter (epoch 0's snapshot of the bursts)."""
+        return self.build(n_ports, rng).to_spec()

@@ -35,10 +35,15 @@ class TestMeasure:
         (point,) = baseline["points"]
         assert point["radix"] == 8 and point["scheduler"] == "solstice"
         timing = point["timing_s"]
-        assert set(timing) > {"total"}
+        assert set(timing) > {"total", "backup_plan"}
+        # "total" sums the compare-pipeline stages; backup_plan is the
+        # fast-reroute add-on, timed separately so its <10%-of-h_schedule
+        # bound stays visible.
         assert timing["total"] == pytest.approx(
-            sum(v for k, v in timing.items() if k != "total"), abs=1e-4
+            sum(v for k, v in timing.items() if k not in ("total", "backup_plan")),
+            abs=1e-4,
         )
+        assert timing["backup_plan"] > 0.0
         quality = point["quality"]
         assert quality["slices"] > 0
         assert quality["h_configs"] > 0

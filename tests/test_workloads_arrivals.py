@@ -84,3 +84,19 @@ class TestWithController:
         # OFF epochs give the switch slack to catch up.
         assert reports[1].backlog_after <= reports[0].backlog_after + 1e-9
         controller.voqs.check_conservation()
+
+
+class TestBurstOn:
+    def test_gate_shape(self):
+        from repro.workloads.arrivals import burst_on
+
+        assert [burst_on(e, 4, 2) for e in range(6)] == [
+            True, True, False, False, True, True,
+        ]
+
+    def test_onoff_arrivals_uses_it(self, base):
+        # The refactor must not change OnOffArrivals' observable gating.
+        gated = OnOffArrivals(base, period=3, on_epochs=1)
+        assert gated(0).sum() > 0
+        assert gated(1).sum() == 0.0
+        assert gated(3).sum() > 0

@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""CI smoke for deadline-aware anytime scheduling: a tight budget on a fake
+clock must degrade gracefully, never invalidly.
+
+Scenario (the tentpole acceptance criteria of the deadline work):
+
+1. unbounded identity — an :class:`~repro.service.deadline.AnytimeScheduler`
+   with ``deadline_s=None`` and one with an infinite budget on a
+   :class:`~repro.service.deadline.TickClock` (so every checkpoint call
+   site actually fires) must both be bit-identical to the unwrapped
+   :class:`~repro.core.scheduler.CpSwitchScheduler`;
+2. a bounded :class:`~repro.analysis.controller.EpochController` on a
+   ``TickClock`` (budget exhaustion = checkpoint count, deterministic on
+   any runner) runs several bursty epochs with backpressure armed: every
+   epoch must yield a valid schedule whose simulation conservation ledger
+   balances, the controller's admission ledger (offered = admitted + shed
+   + parked) must balance, and the run must record at least one mid-ladder
+   fallback (L1 truncation, L2 warm reuse, or L3 TDM — not just L0/L4);
+3. warm reuse is exercised explicitly: freeze the clock for one full
+   schedule, then re-tighten it so the next call exhausts before the first
+   slice and must re-interpret the remembered schedule (L2, age 1);
+4. on any failure, dump the fallback ledger and a traced re-run into
+   ``--workdir`` for the uploaded CI artifact.
+
+Exit code 0 = pass.  Used by CI (see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.analysis.controller import EpochController  # noqa: E402
+from repro.core.config import FilterConfig  # noqa: E402
+from repro.core.scheduler import CpSwitchScheduler  # noqa: E402
+from repro.hybrid.solstice import SolsticeScheduler  # noqa: E402
+from repro.service.deadline import (  # noqa: E402
+    FALLBACK_TDM,
+    FALLBACK_TRUNCATED,
+    FALLBACK_WARM_REUSE,
+    AnytimeScheduler,
+    TickClock,
+)
+from repro.switch.params import fast_ocs_params  # noqa: E402
+
+N = 16
+FILTER = FilterConfig(fanout_threshold=4, volume_threshold=2.0)
+
+
+def covering_demand() -> np.ndarray:
+    """See tests/test_reroute.py — the validated covering workload."""
+    demand = np.zeros((N, N))
+    demand[0, 1:9] = 1.0
+    demand[9:14, 1:9] = 1.0
+    demand[14, 15] = 40.0
+    return demand
+
+
+def make_scheduler() -> CpSwitchScheduler:
+    return CpSwitchScheduler(SolsticeScheduler(), filter_config=FILTER)
+
+
+def schedules_identical(a, b) -> bool:
+    if len(a.entries) != len(b.entries):
+        return False
+    for entry_a, entry_b in zip(a.entries, b.entries):
+        if not (
+            np.array_equal(entry_a.regular, entry_b.regular)
+            and entry_a.duration == entry_b.duration
+            and np.array_equal(entry_a.composite_served, entry_b.composite_served)
+            and entry_a.o2m_port == entry_b.o2m_port
+            and entry_a.m2o_port == entry_b.m2o_port
+        ):
+            return False
+    return np.array_equal(a.filtered_residual, b.filtered_residual)
+
+
+def bursty_arrivals(epoch: int) -> np.ndarray:
+    rng = np.random.default_rng(7000 + epoch)
+    demand = rng.uniform(0.0, 2.0, size=(N, N)) * (rng.random((N, N)) < 0.3)
+    np.fill_diagonal(demand, 0.0)
+    demand[epoch % N, (epoch + 1) % N] += 25.0
+    return demand
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workdir", default=None, help="artifact directory (default: mkdtemp)"
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=6, help="bounded-controller epochs to run"
+    )
+    args = parser.parse_args(argv)
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="deadline-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    params = fast_ocs_params(N)
+    demand = covering_demand()
+    failures: "list[str]" = []
+
+    def check(ok: bool, ok_msg: str, fail_msg: str) -> bool:
+        if ok:
+            print(f"ok: {ok_msg}")
+        else:
+            failures.append(f"FAIL: {fail_msg}")
+        return ok
+
+    # -- 1. unbounded identity -------------------------------------------- #
+    plain = make_scheduler().schedule(demand, params)
+    unwrapped = AnytimeScheduler(make_scheduler()).schedule(demand, params)
+    check(
+        schedules_identical(plain, unwrapped),
+        "deadline_s=None wrapper bit-identical to unwrapped scheduler",
+        "deadline_s=None wrapper diverged from the unwrapped scheduler",
+    )
+    infinite = AnytimeScheduler(
+        make_scheduler(), deadline_s=float("inf"), clock=TickClock(step=1.0)
+    )
+    check(
+        schedules_identical(plain, infinite.schedule(demand, params)),
+        "infinite budget (all checkpoints armed) bit-identical to unwrapped",
+        "infinite budget diverged from the unwrapped scheduler",
+    )
+    check(
+        infinite.last_outcome is not None and bool(infinite.last_outcome.checkpoints),
+        f"{len(infinite.last_outcome.checkpoints)} checkpoints fired under "
+        "the infinite budget",
+        "infinite budget recorded no checkpoints: the budget was not installed",
+    )
+
+    # -- 2. bounded controller: valid every epoch, mid-ladder observed ----- #
+    def run_bounded(deadline_s: float) -> "tuple[dict, EpochController]":
+        controller = EpochController(
+            fast_ocs_params(N),
+            SolsticeScheduler(),
+            use_composite_paths=True,
+            epoch_duration=0.5,
+            deadline_s=deadline_s,
+            deadline_clock=TickClock(step=1.0),
+            max_backlog=60.0,
+            overflow_policy="shed",
+        )
+        histogram: "dict[int, int]" = {}
+        for epoch in range(args.epochs):
+            controller.offer(bursty_arrivals(epoch))
+            report, result = controller.run_epoch(epoch)
+            try:
+                result.check_conservation()
+            except AssertionError as exc:
+                failures.append(
+                    f"FAIL: deadline {deadline_s:g} epoch {epoch} conservation "
+                    f"violated: {exc}"
+                )
+            histogram[report.fallback_level] = (
+                histogram.get(report.fallback_level, 0) + 1
+            )
+        try:
+            controller.check_conservation()
+            print(
+                f"ok: deadline {deadline_s:g} admission ledger balances "
+                f"(shed {controller.shed_volume_total:.2f} Mb, "
+                f"parked {controller.parked_volume:.2f} Mb)"
+            )
+        except AssertionError as exc:
+            failures.append(
+                f"FAIL: deadline {deadline_s:g} admission ledger broken: {exc}"
+            )
+        return histogram, controller
+
+    histogram, _ = run_bounded(6.5)
+    tight_histogram, _ = run_bounded(2.5)
+    merged = dict(histogram)
+    for level, count in tight_histogram.items():
+        merged[level] = merged.get(level, 0) + count
+    pretty = " ".join(f"L{level}x{merged[level]}" for level in sorted(merged))
+    mid_ladder = {FALLBACK_TRUNCATED, FALLBACK_WARM_REUSE, FALLBACK_TDM}
+    check(
+        any(level in mid_ladder for level in merged),
+        f"mid-ladder fallback observed ({pretty})",
+        f"no L1-L3 fallback recorded across {2 * args.epochs} bounded epochs "
+        f"({pretty}): the ladder never engaged",
+    )
+
+    # -- 3. warm reuse (L2) ------------------------------------------------ #
+    clock = TickClock(step=0.0)
+    anytime = AnytimeScheduler(make_scheduler(), deadline_s=2.5, clock=clock)
+    anytime.schedule(demand, params)  # frozen clock: full schedule, remembered
+    clock.step = 1.0
+    reused = anytime.schedule(demand, params)
+    outcome = anytime.last_outcome
+    if check(
+        outcome.fallback_level == FALLBACK_WARM_REUSE
+        and outcome.schedule_age_epochs == 1,
+        f"warm reuse engaged (age {outcome.schedule_age_epochs}, "
+        f"{len(reused.entries)} configs)",
+        f"expected L2 age 1, got L{outcome.fallback_level} "
+        f"age {outcome.schedule_age_epochs}",
+    ):
+        from repro.sim import simulate_cp
+
+        try:
+            simulate_cp(demand, reused, params).check_conservation()
+            print("ok: warm-reused schedule conservation ledger balances")
+        except AssertionError as exc:
+            failures.append(f"FAIL: warm-reused schedule conservation: {exc}")
+
+    if failures:
+        for message in failures:
+            print(message, file=sys.stderr)
+        # Leave a scene of the crime: the ledger plus a traced bounded run.
+        tracer, registry = obs.JsonlTracer(), obs.MetricsRegistry()
+        with obs.observability(tracer=tracer, metrics=registry):
+            run_bounded(6.5)
+        trace_path = workdir / "deadline_trace.jsonl"
+        tracer.dump(
+            trace_path,
+            meta={"command": "deadline_smoke"},
+            metrics_snapshot=registry.snapshot(),
+        )
+        summary = {"fallback_histogram": pretty, "failures": failures}
+        (workdir / "deadline_summary.json").write_text(
+            json.dumps(summary, indent=2) + "\n"
+        )
+        print(f"diagnostic trace written to {trace_path}", file=sys.stderr)
+        return 1
+
+    print(
+        f"deadline smoke OK: unbounded runs bit-identical, every bounded epoch "
+        f"valid and conservation-clean, fallback ladder {pretty}, warm reuse "
+        f"age 1 verified"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,8 @@ the VOQs and is retried in the next round automatically.
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable
 
@@ -41,6 +43,7 @@ from repro.faults.plan import FaultPlan
 from repro.faults.reroute import BackupPlanner
 from repro.hybrid.base import HybridScheduler
 from repro.runner.journal import RunJournal
+from repro.service.deadline import AnytimeScheduler
 from repro.sim import simulate_cp, simulate_hybrid
 from repro.sim.metrics import SimulationResult
 from repro.switch.params import SwitchParams
@@ -66,6 +69,13 @@ class EpochReport:
     record the per-epoch backup precompute, and ``reroute_swaps`` /
     ``recovery_ms`` / ``reparked_mb`` the mid-epoch swaps executed
     (``recovery_ms`` is the worst detection-to-resumption latency).
+
+    With a scheduling deadline (``deadline_s``), ``deadline_hit`` /
+    ``fallback_level`` / ``schedule_ms`` / ``schedule_age_epochs`` record
+    the anytime wrapper's decision (see
+    :mod:`repro.service.deadline`), and ``shed_volume`` is the arrival
+    volume backpressure refused since the previous report (it is part of
+    the controller's conservation ledger, never silently dropped).
     """
 
     epoch: int
@@ -85,6 +95,11 @@ class EpochReport:
     reroute_swaps: int = 0
     recovery_ms: float = 0.0
     reparked_mb: float = 0.0
+    deadline_hit: bool = False
+    fallback_level: int = 0
+    schedule_ms: float = 0.0
+    schedule_age_epochs: int = 0
+    shed_volume: float = 0.0
 
     @property
     def kept_up(self) -> bool:
@@ -126,6 +141,33 @@ class EpochController:
         ``epoch`` record (the :class:`EpochReport` fields plus any
         scheduler watchdog diagnostics) per epoch, atomically — a killed
         multi-epoch run keeps every completed epoch's report on disk.
+    deadline_s:
+        Wall-clock budget (seconds) for *computing* each epoch's schedule.
+        Arms the :class:`~repro.service.deadline.AnytimeScheduler` fallback
+        ladder: on exhaustion the epoch still gets a valid schedule (a
+        truncated prefix, a re-interpreted previous schedule, TDM, or an
+        EPS-only drain — in that order of preference).  Requires
+        ``use_composite_paths``.  ``None`` (the default) schedules
+        unbounded and is bit-identical to not wrapping at all.
+    deadline_clock:
+        Clock read by the deadline budget; injectable (e.g. a
+        :class:`~repro.service.deadline.TickClock`) for deterministic
+        tests.
+    max_backlog:
+        Backpressure threshold (Mb).  When consecutive deadline misses
+        reach ``backpressure_after_misses``, :meth:`offer` admits at most
+        enough arrival volume to keep the VOQ backlog at this bound;
+        the overflow is shed or parked per ``overflow_policy``.  ``None``
+        disables backpressure (all arrivals are always admitted).
+    overflow_policy:
+        What to do with arrival volume refused by backpressure:
+        ``"shed"`` drops it into the ``shed_volume`` ledger (reported per
+        epoch and accounted by :meth:`check_conservation`); ``"park"``
+        holds it outside the VOQs and re-offers it when pressure clears.
+    backpressure_after_misses:
+        Consecutive deadline misses required before backpressure engages
+        (a single miss is noise; sustained misses mean demand is outrunning
+        service).
     """
 
     params: SwitchParams
@@ -135,6 +177,11 @@ class EpochController:
     fault_plan: "FaultPlan | None" = None
     journal: "RunJournal | None" = None
     fast_reroute: bool = False
+    deadline_s: "float | None" = None
+    deadline_clock: Callable = field(default=time.monotonic, repr=False)
+    max_backlog: "float | None" = None
+    overflow_policy: str = "shed"
+    backpressure_after_misses: int = 1
     _voqs: VirtualOutputQueues = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -145,15 +192,59 @@ class EpochController:
                 "fast_reroute repairs composite-path outages; it requires "
                 "use_composite_paths=True"
             )
+        if self.deadline_s is not None:
+            value = float(self.deadline_s)
+            if math.isnan(value) or value <= 0:
+                raise ValueError(
+                    f"deadline_s must be a positive number of seconds (or None "
+                    f"for unbounded), got {self.deadline_s}"
+                )
+            if not self.use_composite_paths:
+                raise ValueError(
+                    "deadline_s arms the anytime cp-Switch fallback ladder; it "
+                    "requires use_composite_paths=True"
+                )
+        if self.max_backlog is not None:
+            bound = float(self.max_backlog)
+            if math.isnan(bound) or bound <= 0:
+                raise ValueError(
+                    f"max_backlog must be a positive volume (Mb), got {self.max_backlog}"
+                )
+        if self.overflow_policy not in ("shed", "park"):
+            raise ValueError(
+                f"overflow_policy must be 'shed' or 'park', got {self.overflow_policy!r}"
+            )
+        if self.backpressure_after_misses < 1:
+            raise ValueError(
+                f"backpressure_after_misses must be >= 1, "
+                f"got {self.backpressure_after_misses}"
+            )
         self._voqs = VirtualOutputQueues(self.params.n_ports)
         self._cp_scheduler = (
             CpSwitchScheduler(self.scheduler) if self.use_composite_paths else None
+        )
+        self._anytime = (
+            AnytimeScheduler(
+                self._cp_scheduler,
+                deadline_s=self.deadline_s,
+                clock=self.deadline_clock,
+            )
+            if self.deadline_s is not None
+            else None
         )
         self._planner = (
             BackupPlanner(self._cp_scheduler) if self.fast_reroute else None
         )
         self._dead_o2m: "set[int]" = set()
         self._dead_m2o: "set[int]" = set()
+        # Conservation ledger for backpressure: everything ever offered is
+        # either enqueued, shed, or parked — check_conservation() audits it.
+        self._offered_total = 0.0
+        self._admitted_total = 0.0
+        self._shed_total = 0.0
+        self._shed_epoch = 0.0
+        self._parked = np.zeros((self.params.n_ports, self.params.n_ports))
+        self._consecutive_misses = 0
 
     @property
     def voqs(self) -> VirtualOutputQueues:
@@ -167,17 +258,85 @@ class EpochController:
     # ------------------------------------------------------------------ #
 
     def offer(self, arrivals: np.ndarray) -> float:
-        """Enqueue an arrival demand matrix; returns the offered volume."""
+        """Enqueue an arrival demand matrix; returns the *admitted* volume.
+
+        Without backpressure (``max_backlog=None``, the default) every
+        offered byte is admitted and the return value equals the offered
+        volume.  With backpressure armed and engaged (consecutive deadline
+        misses ≥ ``backpressure_after_misses``), the pending volume —
+        arrivals plus anything previously parked — is scaled down
+        proportionally so the VOQ backlog stays at ``max_backlog``; the
+        overflow is shed (``shed_volume`` ledger) or parked for a later
+        offer, per ``overflow_policy``.  Shed and parked volume both stay
+        on the books: :meth:`check_conservation` fails if any byte goes
+        missing.
+        """
         arrivals = check_demand_matrix(arrivals)
         if arrivals.shape[0] != self.params.n_ports:
             raise ValueError(
                 f"arrivals are {arrivals.shape[0]}x{arrivals.shape[1]} but the "
                 f"switch has {self.params.n_ports} ports"
             )
-        rows, cols = np.nonzero(arrivals)
+        offered = float(arrivals.sum())
+        self._offered_total += offered
+
+        # Previously parked overflow re-enters the admission decision
+        # alongside fresh arrivals (oldest demand is not starved: parking
+        # is matrix-shaped, so re-offers merge rather than queue behind).
+        pending = arrivals + self._parked
+        self._parked = np.zeros_like(self._parked)
+
+        engaged = (
+            self.max_backlog is not None
+            and self._consecutive_misses >= self.backpressure_after_misses
+        )
+        total = float(pending.sum())
+        if engaged and total > VOLUME_TOL:
+            headroom = max(0.0, float(self.max_backlog) - self._voqs.backlog)
+            if headroom < total:
+                scale = headroom / total
+                admitted_matrix = pending * scale
+                overflow = pending - admitted_matrix
+                if self.overflow_policy == "shed":
+                    shed = float(overflow.sum())
+                    self._shed_total += shed
+                    self._shed_epoch += shed
+                else:
+                    self._parked = overflow
+                pending = admitted_matrix
+        admitted = float(pending.sum())
+        self._admitted_total += admitted
+        rows, cols = np.nonzero(pending)
         for i, j in zip(rows.tolist(), cols.tolist()):
-            self._voqs.enqueue(i, j, float(arrivals[i, j]))
-        return float(arrivals.sum())
+            self._voqs.enqueue(i, j, float(pending[i, j]))
+        return admitted
+
+    @property
+    def parked_volume(self) -> float:
+        """Arrival volume held back by ``overflow_policy='park'`` (Mb)."""
+        return float(self._parked.sum())
+
+    @property
+    def shed_volume_total(self) -> float:
+        """Cumulative arrival volume shed by backpressure (Mb)."""
+        return self._shed_total
+
+    def check_conservation(self) -> None:
+        """Audit the VOQs *and* the admission ledger.
+
+        Every byte ever offered must be enqueued, shed, or parked —
+        backpressure moves volume between those buckets but never loses it.
+        """
+        self._voqs.check_conservation()
+        accounted = self._admitted_total + self._shed_total + float(self._parked.sum())
+        tolerance = VOLUME_TOL * max(1.0, self._offered_total)
+        if abs(self._offered_total - accounted) > tolerance:
+            raise AssertionError(
+                f"admission ledger broken: offered {self._offered_total:.6f} Mb "
+                f"but admitted {self._admitted_total:.6f} + shed "
+                f"{self._shed_total:.6f} + parked {float(self._parked.sum()):.6f} "
+                f"= {accounted:.6f} Mb"
+            )
 
     def run_epoch(self, epoch: int = 0) -> "tuple[EpochReport, SimulationResult]":
         """Snapshot the VOQs, schedule, execute (bounded by the epoch).
@@ -203,6 +362,16 @@ class EpochController:
             self._dead_m2o.update(result.fault_summary.dead_m2o_ports)
         backups = getattr(self, "_last_backups", None)
         outcome = result.reroute
+        anytime = (
+            self._anytime.last_outcome if self._anytime is not None else None
+        )
+        if anytime is not None:
+            if anytime.deadline_hit:
+                self._consecutive_misses += 1
+            else:
+                self._consecutive_misses = 0
+        shed_epoch = self._shed_epoch
+        self._shed_epoch = 0.0
         report = EpochReport(
             epoch=epoch,
             offered_volume=offered,
@@ -221,6 +390,13 @@ class EpochController:
             reroute_swaps=outcome.n_swaps if outcome is not None else 0,
             recovery_ms=outcome.recovery_ms if outcome is not None else 0.0,
             reparked_mb=outcome.reparked_mb if outcome is not None else 0.0,
+            deadline_hit=anytime.deadline_hit if anytime is not None else False,
+            fallback_level=anytime.fallback_level if anytime is not None else 0,
+            schedule_ms=anytime.schedule_ms if anytime is not None else 0.0,
+            schedule_age_epochs=(
+                anytime.schedule_age_epochs if anytime is not None else 0
+            ),
+            shed_volume=shed_epoch,
         )
         if self.journal is not None:
             diagnostics = [
@@ -243,6 +419,9 @@ class EpochController:
                 configs=report.n_configs,
                 dead_ports=len(report.dead_o2m) + len(report.dead_m2o),
                 reroute_swaps=report.reroute_swaps,
+                deadline_hit=report.deadline_hit,
+                fallback_level=report.fallback_level,
+                shed_mb=report.shed_volume,
             )
             metrics = obs.get_metrics()
             if metrics.enabled:
@@ -256,6 +435,11 @@ class EpochController:
                 metrics.gauge(
                     "controller_backlog_mb", "VOQ backlog after the latest epoch"
                 ).set(report.backlog_after)
+                if report.shed_volume:
+                    metrics.counter(
+                        "controller_shed_mb_total",
+                        "arrival volume (Mb) refused by backpressure",
+                    ).inc(report.shed_volume)
         return report, result
 
     def run(self, arrivals: ArrivalProcess, n_epochs: int) -> "list[EpochReport]":
@@ -281,7 +465,12 @@ class EpochController:
             injector.mark_dead("o2m", self._dead_o2m)
             injector.mark_dead("m2o", self._dead_m2o)
         if self._cp_scheduler is not None:
-            cp_schedule = self._cp_scheduler.schedule(
+            # The anytime wrapper (when armed) degrades down the fallback
+            # ladder instead of blowing the epoch's scheduling budget; the
+            # BackupPlanner below keeps using the raw cp-scheduler — backup
+            # precompute has its own timing story (see faults/reroute.py).
+            cp_front = self._anytime if self._anytime is not None else self._cp_scheduler
+            cp_schedule = cp_front.schedule(
                 demand,
                 self.params,
                 blocked_o2m=self._dead_o2m or None,

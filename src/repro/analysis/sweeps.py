@@ -46,6 +46,7 @@ _COMPARISON_DEMAND_FN = "repro.analysis.experiment:comparison_demand"
 _ERROR_FN = "repro.analysis.robustness:error_trial"
 _FAULT_FN = "repro.analysis.robustness:fault_rate_trial"
 _REROUTE_FN = "repro.analysis.robustness:reroute_rate_trial"
+_DEADLINE_FN = "repro.analysis.robustness:deadline_trial"
 _ROBUSTNESS_DEMAND_FN = "repro.analysis.robustness:robustness_demand"
 
 
@@ -158,10 +159,30 @@ def robustness_specs(
     fault_rates: "tuple[float, ...]" = (),
     error_rates: "tuple[float, ...]" = (),
     reroute: bool = False,
+    deadlines: "tuple[float, ...]" = (),
 ) -> "list[TrialSpec]":
-    """Specs of the robustness command's sweeps (fault + error, and with
-    ``reroute`` a fast-reroute-vs-degrade arm per fault rate)."""
+    """Specs of the robustness command's sweeps (fault + error, with
+    ``reroute`` a fast-reroute-vs-degrade arm per fault rate, and with
+    ``deadlines`` a deadline-aware anytime-controller arm per value in ms)."""
     specs: "list[TrialSpec]" = []
+    for deadline_ms in deadlines:
+        experiment = f"deadline-{ocs}-r{radix}@{deadline_ms:g}ms"
+        for trial in range(trials):
+            specs.append(
+                TrialSpec(
+                    experiment=experiment,
+                    key=f"{experiment}:{trial:04d}",
+                    fn=_DEADLINE_FN,
+                    kwargs={
+                        "ocs": ocs,
+                        "radix": radix,
+                        "seed": seed,
+                        "trial": trial,
+                        "deadline_ms": float(deadline_ms),
+                    },
+                    demand_fn=_ROBUSTNESS_DEMAND_FN,
+                )
+            )
     if reroute:
         for rate_index, rate in enumerate(fault_rates):
             experiment = f"reroute-{ocs}-r{radix}@{rate:g}"

@@ -48,6 +48,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from pathlib import Path
 
@@ -147,12 +148,29 @@ def _journal_for(args, kind: str, sweep_args: dict) -> RunJournal:
     return RunJournal(path)
 
 
+def _check_positive_budget(value, flag: str, unit: str = "seconds"):
+    """Validate a wall-clock budget flag: positive and finite-or-inf, never
+    zero, negative, or NaN — those silently disable or wedge the run.
+
+    Returns the value as ``float`` (``None`` passes through untouched).
+    """
+    if value is None:
+        return None
+    value = float(value)
+    if math.isnan(value) or value <= 0:
+        raise SystemExit(
+            f"{flag} must be a positive number of {unit}, got {value:g}; "
+            f"drop the flag to run without a budget"
+        )
+    return value
+
+
 def _sweep_config(args) -> SweepConfig:
     retries = getattr(args, "retries", 2)
     if retries < 0:
         raise SystemExit(f"--retries must be >= 0, got {retries}")
     return SweepConfig(
-        timeout_s=getattr(args, "timeout", None),
+        timeout_s=_check_positive_budget(getattr(args, "timeout", None), "--timeout"),
         retry=RetryPolicy(
             max_attempts=retries + 1,
             base_delay=getattr(args, "retry_base_delay", 0.1),
@@ -343,16 +361,41 @@ def cmd_schedule(args) -> int:
     return 0
 
 
+def _fallback_histogram(payloads: "list[dict]") -> str:
+    """Merge per-trial fallback histograms into one ``L0×3 L1×2``-style cell."""
+    merged: "dict[int, int]" = {}
+    for payload in payloads:
+        for level, count in payload.get("fallbacks", {}).items():
+            merged[int(level)] = merged.get(int(level), 0) + int(count)
+    return " ".join(f"L{level}×{merged[level]}" for level in sorted(merged)) or "-"
+
+
 def _print_robustness(sweep_args: dict, specs, completed: dict) -> None:
     groups = group_payloads(specs, completed)
     fault_rows = []
     error_rows = []
     reroute_rows = []
+    deadline_rows = []
     for experiment, payloads in groups.items():
         if not payloads:
             print(f"warning: {experiment}: all trials failed; point omitted", file=sys.stderr)
             continue
-        if experiment.startswith("fault-"):
+        if experiment.startswith("deadline-"):
+            served = float(np.mean([p["served"] for p in payloads]))
+            served_unbounded = float(np.mean([p["served_unbounded"] for p in payloads]))
+            cct = float(np.mean([p["cct"] for p in payloads]))
+            cct_unbounded = float(np.mean([p["cct_unbounded"] for p in payloads]))
+            deadline_rows.append(
+                [
+                    payloads[0]["deadline_ms"],
+                    float(np.mean([p["miss_rate"] for p in payloads])),
+                    _fallback_histogram(payloads),
+                    served / served_unbounded if served_unbounded else 1.0,
+                    cct - cct_unbounded,
+                    float(np.mean([p["schedule_ms"] for p in payloads])),
+                ]
+            )
+        elif experiment.startswith("fault-"):
             h_mean = float(np.mean([p["h"] for p in payloads]))
             cp_mean = float(np.mean([p["cp"] for p in payloads]))
             fault_rows.append(
@@ -431,11 +474,36 @@ def _print_robustness(sweep_args: dict, specs, completed: dict) -> None:
                 ),
             )
         )
+    if deadline_rows:
+        print()
+        print(
+            format_table(
+                [
+                    "deadline (ms)",
+                    "miss rate",
+                    "fallbacks",
+                    "served / unbounded",
+                    "CCT delta (ms)",
+                    "sched (ms)",
+                ],
+                deadline_rows,
+                title=(
+                    "deadline-aware anytime scheduling vs unbounded — skewed "
+                    f"workload, radix {radix}, {ocs} OCS, solstice, "
+                    f"{sweep_args['trials']} trials"
+                ),
+            )
+        )
 
 
 def cmd_robustness(args) -> int:
     fault_rates = tuple(float(part) for part in args.fault_rates.split(","))
     error_rates = tuple(float(part) for part in args.error_rates.split(","))
+    deadlines = tuple(
+        _check_positive_budget(part, "--deadline", unit="milliseconds")
+        for part in args.deadline.split(",")
+        if part.strip()
+    )
     # Fail fast on bad sweep axes instead of journaling one doomed trial
     # per point.
     for rate in fault_rates:
@@ -452,6 +520,7 @@ def cmd_robustness(args) -> int:
         "fault_rates": list(fault_rates),
         "error_rates": list(error_rates),
         "fast_reroute": bool(args.fast_reroute),
+        "deadlines": list(deadlines),
     }
     specs = robustness_specs(
         ocs=args.ocs,
@@ -461,6 +530,7 @@ def cmd_robustness(args) -> int:
         fault_rates=fault_rates,
         error_rates=error_rates,
         reroute=args.fast_reroute,
+        deadlines=deadlines,
     )
     result, _journal = _run_sweep(args, "robustness", sweep_args, specs)
     if not result.completed:
@@ -786,6 +856,14 @@ def _add_robustness_args(p) -> None:
         action="store_true",
         help="add a fast-reroute-vs-degrade arm per fault rate (outage-only "
         "plans; reports stranded-volume and recovery-time deltas)",
+    )
+    p.add_argument(
+        "--deadline",
+        default="",
+        metavar="MS",
+        help="comma-separated wall-clock scheduling deadlines (ms): adds a "
+        "deadline-aware anytime-controller arm per value (miss rate, "
+        "fallback histogram, throughput/CCT deltas vs unbounded)",
     )
     _add_runner_args(p)
     _add_obs_args(p)

@@ -169,6 +169,12 @@ class CpSwitchScheduler:
 
     inner: HybridScheduler
     filter_config: FilterConfig = field(default_factory=FilterConfig)
+    #: Optional :class:`~repro.service.deadline.DeadlineBudget` polled
+    #: after the Algorithm-1 reduction and before each interpretation step
+    #: (duck-typed to avoid an import cycle; the inner h-Switch scheduler
+    #: carries its own ``budget`` hook).  A budget that never exhausts
+    #: changes nothing — checkpoints only read the clock.
+    budget: "object | None" = field(default=None, repr=False, compare=False)
 
     @property
     def name(self) -> str:
@@ -204,6 +210,10 @@ class CpSwitchScheduler:
                 blocked_o2m=blocked_o2m,
                 blocked_m2o=blocked_m2o,
             )
+        if self.budget is not None:
+            # Stage marker: exhaustion surfaces at the inner scheduler's
+            # own checkpoints (or the interpretation loop below).
+            self.budget.checkpoint("cpsched.reduce")
 
         # Step 2: h-Switch scheduling of the reduced demand.
         with obs.profiled("cpsched.inner", scheduler=self.inner.name):
@@ -216,6 +226,17 @@ class CpSwitchScheduler:
             filtered = reduction.filtered.copy()
             entries: list[CompositeScheduleEntry] = []
             for item in reduced_schedule:
+                if (
+                    self.budget is not None
+                    and not self.budget.checkpoint("cpsched.interpret")
+                    and self.budget.overdrawn()
+                ):
+                    # Interpretation is O(n) per configuration — cheap
+                    # enough to finish for the prefix the budget already
+                    # paid for — so it only truncates on a hard overdraft.
+                    # The parked demand the dropped configurations would
+                    # have served merges back for the EPS drain.
+                    break
                 previous = filtered.copy()
                 divided = divide_by_type(item.permutation)
                 if divided.o2m_port is not None:

@@ -24,7 +24,11 @@ Events currently emitted:
   or no-progress step);
 * ``step-cap`` — Eclipse hit its greedy-step cap before exhausting the
   window;
-* ``clock-stall`` — Eclipse's window clock stopped advancing measurably.
+* ``clock-stall`` — Eclipse's window clock stopped advancing measurably;
+* ``deadline`` — a :class:`~repro.service.deadline.DeadlineBudget`
+  checkpoint observed the wall-clock budget exhausted; the scheduler
+  stopped iterating and returned the configurations built so far (the
+  anytime L1 truncation — leftover demand drains over the packet switch).
 """
 
 from __future__ import annotations

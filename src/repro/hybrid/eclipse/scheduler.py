@@ -85,6 +85,11 @@ class EclipseScheduler:
     last_diagnostics: "list[SchedulerDiagnostics]" = field(
         default_factory=list, repr=False, compare=False
     )
+    #: Optional :class:`~repro.service.deadline.DeadlineBudget` polled at
+    #: every greedy step (duck-typed to avoid an import cycle).  A budget
+    #: that never exhausts changes nothing — checkpoints only read the
+    #: clock.
+    budget: "object | None" = field(default=None, repr=False, compare=False)
 
     def resolved_window(self, params: SwitchParams) -> float:
         """The window actually used for ``params`` (resolving the default)."""
@@ -120,6 +125,18 @@ class EclipseScheduler:
         # would let the loop run ~forever without ever filling it.
         min_advance = np.finfo(np.float64).eps * max(window, 1.0)
         while residual.max(initial=0.0) > VOLUME_TOL:
+            if self.budget is not None and not self.budget.checkpoint(
+                "eclipse.step"
+            ):
+                self._degrade(
+                    "deadline",
+                    f"wall-clock budget exhausted after {len(entries)} greedy "
+                    f"steps with {window - clock:.3g} ms of window unused",
+                    len(entries),
+                    step_cap,
+                    residual,
+                )
+                break
             available = window - clock - delta
             if available <= 0:
                 break

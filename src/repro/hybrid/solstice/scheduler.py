@@ -79,6 +79,11 @@ class SolsticeScheduler:
     last_diagnostics: "list[SchedulerDiagnostics]" = field(
         default_factory=list, repr=False, compare=False
     )
+    #: Optional :class:`~repro.service.deadline.DeadlineBudget` polled at
+    #: the stuffing boundary and every slicing iteration (duck-typed to
+    #: avoid an import cycle).  A budget that never exhausts changes
+    #: nothing — checkpoints only read the clock.
+    budget: "object | None" = field(default=None, repr=False, compare=False)
 
     def schedule(self, demand: np.ndarray, params: SwitchParams) -> Schedule:
         """Compute the Solstice OCS schedule for ``demand``.
@@ -111,6 +116,10 @@ class SolsticeScheduler:
             self.last_diagnostics.append(stuffing_diag)
             if obs_on:
                 obs.record_watchdog(stuffing_diag)
+        if self.budget is not None:
+            # Stage marker only: exhaustion here surfaces at the first
+            # slicing checkpoint below, keeping a single degradation path.
+            self.budget.checkpoint("solstice.stuffing")
 
         # Kernel backend: carry the warm-start/certificate memo across the
         # slicing loop (see BigSliceState).  Every number it influences is
@@ -119,6 +128,18 @@ class SolsticeScheduler:
         rows = np.arange(n)
 
         while len(entries) < cap:
+            if self.budget is not None and not self.budget.checkpoint(
+                "solstice.slice"
+            ):
+                self._degrade(
+                    "deadline",
+                    f"wall-clock budget exhausted after {len(entries)} slices; "
+                    "the EPS drains the leftover",
+                    len(entries),
+                    cap,
+                    leftover,
+                )
+                break
             port_load = max(leftover.sum(axis=1).max(), leftover.sum(axis=0).max())
             if port_load <= VOLUME_TOL:
                 break  # circuits already cover everything

@@ -38,6 +38,7 @@ from repro.analysis.perf import STAGES, _run_pipeline
 from repro.core.scheduler import CpSwitchScheduler
 from repro.faults.reroute import BackupPlanner
 from repro.hybrid.base import make_scheduler
+from repro.service.deadline import AnytimeScheduler, TickClock
 from repro.utils.fileio import atomic_write_json
 from repro.utils.rng import spawn_rngs
 from repro.workloads.skewed import SkewedWorkload
@@ -63,7 +64,19 @@ _EXACT_QUALITY: "tuple[str, ...]" = (
     "slices",
     "watchdog_trips",
     "backup_count",
+    "deadline_misses",
+    "deadline_fallbacks",
 )
+
+#: Tick budget for the deadline-ladder fingerprint.  On a unit-step
+#: :class:`~repro.service.deadline.TickClock` exhaustion is a function of
+#: checkpoint *count* (reduce, stuffing, then one per slice/step), so the
+#: resulting miss count and fallback histogram are machine-independent —
+#: exact-comparable like slice counts.  4.5 ticks truncates after the
+#: first slice (L1) at most recorded points while still letting the
+#: tightest schedules finish clean (L0), so the fingerprint is sensitive
+#: in both directions.
+DEADLINE_TICK_BUDGET: float = 4.5
 
 #: Quality fields compared with :data:`QUALITY_RTOL`.
 _FLOAT_QUALITY: "tuple[str, ...]" = (
@@ -138,6 +151,27 @@ def measure_point(
         backup_s = min(backup_s, time.perf_counter() - start)
     timing["backup_plan"] = backup_s
     quality["backup_count"] = int(backup_count)
+
+    # Deadline-ladder fingerprint: the same demands scheduled under a tick
+    # budget.  Any change to checkpoint placement or rung selection shifts
+    # these counts, so ``obs check`` gates the fallback ladder the same way
+    # it gates slice counts.  Runs outside the observability context above
+    # so the anytime counters never leak into the pipeline's audit quality.
+    anytime = AnytimeScheduler(
+        CpSwitchScheduler(make_scheduler(scheduler)),
+        deadline_s=DEADLINE_TICK_BUDGET,
+        clock=TickClock(step=1.0),
+    )
+    deadline_misses = 0
+    deadline_fallbacks: "dict[str, int]" = {}
+    for demand in demands:
+        anytime.schedule(demand, params)
+        outcome = anytime.last_outcome
+        deadline_misses += int(outcome.deadline_hit)
+        level = str(outcome.fallback_level)
+        deadline_fallbacks[level] = deadline_fallbacks.get(level, 0) + 1
+    quality["deadline_misses"] = deadline_misses
+    quality["deadline_fallbacks"] = deadline_fallbacks
     return {
         "radix": n_ports,
         "scheduler": scheduler,

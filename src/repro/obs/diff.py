@@ -43,6 +43,8 @@ QUALITY_COUNTERS: "frozenset[str]" = frozenset(
         "controller_epochs_total",
         "reroute_backups_planned_total",
         "reroute_swaps_total",
+        "deadline_fallback_total",
+        "deadline_misses_total",
     }
 )
 
@@ -54,6 +56,7 @@ VOLUME_QUALITY_COUNTERS: "frozenset[str]" = frozenset(
         "engine_composite_released_mb_total",
         "engine_composite_reparked_mb_total",
         "reroute_reparked_mb_total",
+        "controller_shed_mb_total",
     }
 )
 _VOLUME_RTOL: float = 1e-9

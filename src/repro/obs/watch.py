@@ -12,8 +12,11 @@ two into one status report:
 * retry and quarantine totals;
 * stragglers — in-flight trials older than a duration percentile of the
   completed population (default p95), plus trials whose heartbeat has gone
-  stale (no ``last_progress`` update), which is how a hung worker shows up
-  before its timeout fires.
+  ``STALE`` (idle for more than 3× the interval the beat itself declares;
+  see :data:`STALE_INTERVAL_MULTIPLIER`), which is how a hung *or crashed*
+  worker shows up before its timeout fires.  Every unsettled heartbeat is
+  treated as live — no phase filter — so a worker that died mid-phase still
+  renders, flagged, instead of silently vanishing from the report.
 
 Reading is strictly passive: the journal is atomic-rewritten by the
 runner, heartbeat files are atomically replaced, so a watcher sees
@@ -37,10 +40,26 @@ STRAGGLER_PERCENTILE: float = 95.0
 #: Minimum completed trials before percentile straggler flagging engages.
 MIN_COMPLETED_FOR_STRAGGLERS: int = 3
 
-#: A running trial whose heartbeat has not moved for this long is "stale".
+#: Fallback staleness horizon (s) for heartbeats that do not declare their
+#: refresh cadence (records written before ``interval_s`` existed).
 STALE_AFTER_S: float = 15.0
 
-_LIVE_PHASES = frozenset({"starting", "running", "retrying"})
+#: A heartbeat idle for more than this multiple of its *declared* refresh
+#: interval is stale: the writer promised a beat every ``interval_s`` and
+#: has missed three in a row, so the worker is hung or dead — either way
+#: it must not render as healthily running forever.
+STALE_INTERVAL_MULTIPLIER: float = 3.0
+
+
+def _stale_horizon_s(beat: dict) -> float:
+    """Idle time beyond which ``beat`` counts as stale."""
+    try:
+        interval = float(beat["interval_s"])
+    except (KeyError, TypeError, ValueError):
+        return STALE_AFTER_S
+    if interval <= 0:
+        return STALE_AFTER_S
+    return STALE_INTERVAL_MULTIPLIER * interval
 
 
 @dataclass
@@ -55,6 +74,8 @@ class TrialStatus:
     idle_s: float
     straggler: bool = False
     stale: bool = False
+    stale_after_s: float = STALE_AFTER_S
+    deadline_miss_rate: "float | None" = None
 
 
 @dataclass
@@ -141,10 +162,17 @@ def collect_state(
 
     in_flight: "list[TrialStatus]" = []
     for key, beat in read_heartbeats(heartbeat_dir(journal_path)).items():
-        if beat.get("phase") not in _LIVE_PHASES or key in settled:
+        # Any heartbeat whose trial the journal has not settled is treated
+        # as live — a worker that crashed mid-phase leaves whatever phase
+        # string it last wrote, and filtering on "live-looking" phases
+        # would hide exactly the trials the watcher exists to flag.  The
+        # staleness check below is what separates running from wedged.
+        if key in settled:
             continue
         age = max(0.0, now - float(beat.get("started_at", now)))
         idle = max(0.0, now - float(beat.get("last_progress", now)))
+        horizon = _stale_horizon_s(beat)
+        miss_rate = beat.get("deadline_miss_rate")
         in_flight.append(
             TrialStatus(
                 key=key,
@@ -154,7 +182,11 @@ def collect_state(
                 age_s=age,
                 idle_s=idle,
                 straggler=cutoff is not None and age > cutoff,
-                stale=idle > STALE_AFTER_S,
+                stale=idle > horizon,
+                stale_after_s=horizon,
+                deadline_miss_rate=(
+                    float(miss_rate) if isinstance(miss_rate, (int, float)) else None
+                ),
             )
         )
     in_flight.sort(key=lambda status: -status.age_s)
@@ -245,12 +277,20 @@ def render_watch(state: WatchState) -> str:
                     f"{_fmt_duration(state.straggler_cutoff_s or 0.0)})"
                 )
             if status.stale:
-                flags.append(f"stale (no progress {_fmt_duration(status.idle_s)})")
+                flags.append(
+                    f"STALE (no progress {_fmt_duration(status.idle_s)}, "
+                    f"expected every {_fmt_duration(status.stale_after_s / STALE_INTERVAL_MULTIPLIER)})"
+                )
             suffix = ("  ← " + ", ".join(flags)) if flags else ""
+            miss = (
+                f"  miss-rate {status.deadline_miss_rate:.0%}"
+                if status.deadline_miss_rate is not None
+                else ""
+            )
             lines.append(
                 f"  {status.key:<32} {status.phase:<9} attempt {status.attempt}"
                 f"  spans {status.spans_so_far}"
-                f"  age {_fmt_duration(status.age_s)}{suffix}"
+                f"  age {_fmt_duration(status.age_s)}{miss}{suffix}"
             )
     if state.finished:
         lines.append("sweep complete")

@@ -26,7 +26,13 @@ field                   meaning
 ``started_at``          Unix time the trial's first attempt began
 ``last_progress``       Unix time of the most recent update — staleness
                         here is how ``obs watch`` flags hung trials
+``interval_s``          the writer's declared refresh cadence; ``obs watch``
+                        flags a beat idle for more than 3× this as ``STALE``
+                        (a crashed worker must not render as running forever)
 ======================  ======================================================
+
+Writers may attach extra advisory fields (e.g. a controller worker's
+``deadline_miss_rate``); readers ignore what they do not know.
 
 Heartbeats are advisory: they are never read back by the runner itself,
 never influence scheduling or results (the kill-and-resume smoke asserts
@@ -42,6 +48,7 @@ import os
 import threading
 import time
 from pathlib import Path
+from typing import Callable
 
 from repro import obs
 from repro.utils.fileio import atomic_write_json
@@ -86,8 +93,14 @@ def write_heartbeat(
     attempt: int = 1,
     started_at: "float | None" = None,
     spans_so_far: int = 0,
+    interval_s: float = TICK_INTERVAL_S,
+    extra: "dict | None" = None,
 ) -> Path:
     """Atomically (re)write the heartbeat file of one trial key.
+
+    ``interval_s`` declares how often the writer intends to refresh this
+    beat — the staleness contract ``obs watch`` judges against.  ``extra``
+    merges advisory fields into the record (never overriding the envelope).
 
     Best-effort by design: an unwritable directory (read-only scratch,
     deleted mid-sweep) must never fail the trial, so ``OSError`` is
@@ -95,18 +108,22 @@ def write_heartbeat(
     """
     directory = Path(directory)
     now = time.time()
-    record = {
-        "format": HEARTBEAT_FORMAT,
-        "key": key,
-        "experiment": experiment,
-        "phase": phase,
-        "attempt": attempt,
-        "retries": max(0, attempt - 1),
-        "spans_so_far": spans_so_far,
-        "pid": os.getpid(),
-        "started_at": started_at if started_at is not None else now,
-        "last_progress": now,
-    }
+    record = dict(extra) if extra else {}
+    record.update(
+        {
+            "format": HEARTBEAT_FORMAT,
+            "key": key,
+            "experiment": experiment,
+            "phase": phase,
+            "attempt": attempt,
+            "retries": max(0, attempt - 1),
+            "spans_so_far": spans_so_far,
+            "pid": os.getpid(),
+            "started_at": started_at if started_at is not None else now,
+            "last_progress": now,
+            "interval_s": float(interval_s),
+        }
+    )
     path = directory / _safe_filename(key)
     try:
         atomic_write_json(record, path, indent=None)
@@ -160,17 +177,27 @@ class HeartbeatTicker:
         experiment: str = "",
         attempt: int = 1,
         interval_s: float = TICK_INTERVAL_S,
+        status_fn: "Callable[[], dict] | None" = None,
     ) -> None:
         self._directory = Path(directory)
         self._key = key
         self._experiment = experiment
         self._attempt = attempt
         self._interval_s = interval_s
+        self._status_fn = status_fn
         self._started_at = time.time()
         self._stop = threading.Event()
         self._thread: "threading.Thread | None" = None
 
     def _beat(self) -> None:
+        extra = None
+        if self._status_fn is not None:
+            # Advisory extras (e.g. a live deadline_miss_rate); a broken
+            # status callback must never kill the heartbeat thread.
+            try:
+                extra = self._status_fn()
+            except Exception:
+                extra = None
         write_heartbeat(
             self._directory,
             self._key,
@@ -179,6 +206,8 @@ class HeartbeatTicker:
             attempt=self._attempt,
             started_at=self._started_at,
             spans_so_far=_spans_so_far(),
+            interval_s=self._interval_s,
+            extra=extra,
         )
 
     def _run(self) -> None:

@@ -1,0 +1,32 @@
+"""Service-grade scheduling wrappers (deadlines, graceful degradation).
+
+The batch pipeline assumes the scheduler finishes before its results are
+needed.  A long-running scheduling service (ROADMAP open item 1) needs the
+opposite guarantee: an epoch always has *some* valid schedule by its
+wall-clock deadline.  :mod:`repro.service.deadline` provides the budget
+and the anytime wrapper that make that guarantee explicit.
+"""
+
+from repro.service.deadline import (
+    FALLBACK_EPS_ONLY,
+    FALLBACK_FULL,
+    FALLBACK_TDM,
+    FALLBACK_TRUNCATED,
+    FALLBACK_WARM_REUSE,
+    AnytimeOutcome,
+    AnytimeScheduler,
+    DeadlineBudget,
+    TickClock,
+)
+
+__all__ = [
+    "AnytimeOutcome",
+    "AnytimeScheduler",
+    "DeadlineBudget",
+    "TickClock",
+    "FALLBACK_FULL",
+    "FALLBACK_TRUNCATED",
+    "FALLBACK_WARM_REUSE",
+    "FALLBACK_TDM",
+    "FALLBACK_EPS_ONLY",
+]

@@ -83,3 +83,173 @@ class TestEpochController:
         reports = controller.run(skew_arrivals(16), n_epochs=2)
         total_offered = sum(r.offered_volume for r in reports)
         assert controller.voqs.total_served == pytest.approx(total_offered, rel=1e-9)
+
+
+def _burst(n: int, volume: float = 10.0) -> np.ndarray:
+    demand = np.zeros((n, n))
+    demand[0, 1] = volume
+    return demand
+
+
+class TestOfferBookkeeping:
+    """offer() / carryover / residual accounting across epochs."""
+
+    def test_offer_accumulates_across_calls(self):
+        controller = EpochController(fast_ocs_params(8), SolsticeScheduler())
+        assert controller.offer(_burst(8, 3.0)) == pytest.approx(3.0)
+        assert controller.offer(_burst(8, 2.0)) == pytest.approx(2.0)
+        assert controller.voqs.backlog == pytest.approx(5.0)
+        controller.check_conservation()
+
+    def test_carryover_retried_next_epoch(self):
+        # A tiny epoch budget strands volume; it must stay queued and be
+        # served by later epochs, with the ledger balancing throughout.
+        controller = EpochController(
+            fast_ocs_params(8), SolsticeScheduler(), epoch_duration=0.1
+        )
+        controller.offer(_burst(8, 20.0))
+        report0, _ = controller.run_epoch(0)
+        assert report0.stranded_volume > 0
+        assert report0.backlog_after == pytest.approx(report0.stranded_volume, rel=1e-9)
+        served_total = report0.served_volume
+        for epoch in range(1, 200):
+            report, _ = controller.run_epoch(epoch)
+            served_total += report.served_volume
+            if report.kept_up:
+                break
+        assert served_total == pytest.approx(20.0, rel=1e-9)
+        controller.check_conservation()
+
+    def test_offered_volume_snapshots_queue_not_arrivals(self):
+        controller = EpochController(
+            fast_ocs_params(8), SolsticeScheduler(), epoch_duration=0.005
+        )
+        controller.offer(_burst(8, 20.0))
+        report0, _ = controller.run_epoch(0)
+        controller.offer(_burst(8, 1.0))
+        report1, _ = controller.run_epoch(1)
+        # Epoch 1's offered volume = fresh arrival + epoch 0's carryover.
+        assert report1.offered_volume == pytest.approx(
+            1.0 + report0.stranded_volume, rel=1e-9
+        )
+
+    def test_residual_bookkeeping_zero_without_truncation(self):
+        controller = EpochController(fast_ocs_params(8), SolsticeScheduler())
+        controller.offer(_burst(8, 4.0))
+        report, _ = controller.run_epoch(0)
+        assert report.stranded_volume == pytest.approx(0.0, abs=1e-9)
+        assert report.shed_volume == 0.0
+        assert report.backlog_after == pytest.approx(0.0, abs=1e-6)
+        controller.check_conservation()
+
+    def test_ledger_survives_interleaved_offers(self):
+        controller = EpochController(fast_ocs_params(8), SolsticeScheduler())
+        total = 0.0
+        for k in range(5):
+            total += controller.offer(_burst(8, float(k + 1)))
+            controller.run_epoch(k)
+        assert controller.voqs.total_served == pytest.approx(total, rel=1e-9)
+        assert controller.shed_volume_total == 0.0
+        assert controller.parked_volume == 0.0
+        controller.check_conservation()
+
+
+class TestDeadlineBackpressure:
+    """deadline_s threading + backlog-aware admission (shed / park)."""
+
+    @staticmethod
+    def _bounded(n=8, *, step=1.0, deadline=2.5, **overrides):
+        from repro.service.deadline import TickClock
+
+        overrides.setdefault("use_composite_paths", True)
+        overrides.setdefault("epoch_duration", 0.5)
+        return EpochController(
+            fast_ocs_params(n),
+            SolsticeScheduler(),
+            deadline_s=deadline,
+            deadline_clock=TickClock(step=step),
+            **overrides,
+        )
+
+    def test_deadline_requires_composite_paths(self):
+        with pytest.raises(ValueError, match="use_composite_paths"):
+            EpochController(fast_ocs_params(8), SolsticeScheduler(), deadline_s=1.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan")])
+    def test_rejects_bad_deadline(self, bad):
+        with pytest.raises(ValueError, match="deadline_s"):
+            EpochController(
+                fast_ocs_params(8),
+                SolsticeScheduler(),
+                use_composite_paths=True,
+                deadline_s=bad,
+            )
+
+    def test_rejects_bad_backpressure_knobs(self):
+        with pytest.raises(ValueError, match="max_backlog"):
+            EpochController(fast_ocs_params(8), SolsticeScheduler(), max_backlog=0.0)
+        with pytest.raises(ValueError, match="overflow_policy"):
+            EpochController(
+                fast_ocs_params(8), SolsticeScheduler(), overflow_policy="drop"
+            )
+        with pytest.raises(ValueError, match="backpressure_after_misses"):
+            EpochController(
+                fast_ocs_params(8), SolsticeScheduler(), backpressure_after_misses=0
+            )
+
+    def test_report_threads_anytime_outcome(self):
+        controller = self._bounded()
+        controller.offer(_burst(8, 10.0))
+        report, _ = controller.run_epoch(0)
+        assert report.deadline_hit
+        assert report.fallback_level > 0
+        assert report.schedule_ms > 0
+        controller.check_conservation()
+
+    def test_unbounded_report_has_level_zero(self):
+        controller = EpochController(
+            fast_ocs_params(8), SolsticeScheduler(), use_composite_paths=True
+        )
+        controller.offer(_burst(8, 10.0))
+        report, _ = controller.run_epoch(0)
+        assert not report.deadline_hit
+        assert report.fallback_level == 0
+        assert report.schedule_age_epochs == 0
+
+    def test_shed_engages_after_misses_and_is_ledgered(self):
+        controller = self._bounded(max_backlog=5.0, overflow_policy="shed")
+        # Epoch 0: no misses yet, everything admitted.
+        assert controller.offer(_burst(8, 10.0)) == pytest.approx(10.0)
+        report0, _ = controller.run_epoch(0)
+        assert report0.deadline_hit and report0.shed_volume == 0.0
+        # Epoch 1: a miss is on the books -> admission bounded by headroom.
+        backlog = controller.voqs.backlog
+        admitted = controller.offer(_burst(8, 10.0))
+        assert admitted == pytest.approx(max(0.0, 5.0 - backlog))
+        report1, _ = controller.run_epoch(1)
+        assert report1.shed_volume == pytest.approx(10.0 - admitted)
+        assert controller.shed_volume_total == pytest.approx(10.0 - admitted)
+        controller.check_conservation()
+
+    def test_park_reoffers_instead_of_dropping(self):
+        controller = self._bounded(max_backlog=5.0, overflow_policy="park")
+        controller.offer(_burst(8, 10.0))
+        controller.run_epoch(0)
+        controller.offer(_burst(8, 10.0))
+        parked_after = controller.parked_volume
+        assert parked_after > 0
+        assert controller.shed_volume_total == 0.0
+        controller.check_conservation()
+        # Parked volume re-enters at the next offer.
+        controller.run_epoch(1)
+        controller.offer(np.zeros((8, 8)))
+        controller.check_conservation()
+
+    def test_every_bounded_epoch_yields_valid_schedule(self):
+        controller = self._bounded(max_backlog=25.0)
+        for epoch in range(5):
+            controller.offer(_burst(8, 10.0))
+            report, result = controller.run_epoch(epoch)
+            result.check_conservation()
+            assert report.fallback_level in (0, 1, 2, 3, 4)
+        controller.check_conservation()

@@ -114,6 +114,53 @@ class TestRobustnessCommand:
         with pytest.raises(ValueError):
             main(["robustness", "--radix", "16", "--trials", "1", "--fault-rates", "2"])
 
+    def test_deadline_table_rendered(self, capsys):
+        code = main(
+            [
+                "robustness", "--radix", "16", "--trials", "1",
+                "--fault-rates", "0", "--error-rates", "0",
+                "--deadline", "50", "--isolation", "inline", "--no-journal",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deadline-aware anytime scheduling vs unbounded" in out
+        assert "miss rate" in out and "fallbacks" in out
+
+
+class TestBudgetValidation:
+    """Satellite: --timeout / --deadline reject zero, negative and NaN
+    values with one actionable line instead of a downstream traceback."""
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "nan"])
+    def test_deadline_rejected(self, bad):
+        with pytest.raises(SystemExit, match="--deadline must be a positive"):
+            main(
+                [
+                    "robustness", "--radix", "16", "--trials", "1",
+                    "--deadline", bad, "--no-journal",
+                ]
+            )
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "nan"])
+    def test_timeout_rejected(self, bad):
+        with pytest.raises(SystemExit, match="--timeout must be a positive"):
+            main(
+                [
+                    "compare", "--radix", "16", "--trials", "1",
+                    "--timeout", bad, "--no-journal",
+                ]
+            )
+
+    def test_error_message_suggests_the_fix(self):
+        with pytest.raises(SystemExit, match="drop the flag"):
+            main(
+                [
+                    "robustness", "--radix", "16", "--trials", "1",
+                    "--deadline", "-1", "--no-journal",
+                ]
+            )
+
 
 class TestDemandValidation:
     """Satellite: _load_demand rejects bad files with one actionable line."""

@@ -162,7 +162,75 @@ class TestCollectState:
         assert by_key["unit:0004"].straggler and not by_key["unit:0004"].stale
         assert by_key["unit:0005"].stale and not by_key["unit:0005"].straggler
         text = render_watch(state)
-        assert "straggler" in text and "stale" in text
+        assert "straggler" in text and "STALE" in text
+
+    def test_stale_scales_with_declared_interval(self, tmp_path):
+        journal = _seed_journal(tmp_path, n_specs=4, ok=())
+        hb = heartbeat_dir(journal.path)
+        hb.mkdir()
+        now = 1000.0
+        # A 10s-cadence writer idle for 20s is fine (< 3×10); a 1s-cadence
+        # writer idle just as long has missed twenty beats — stale.
+        for key, interval in (("unit:0000", 10.0), ("unit:0001", 1.0)):
+            write_heartbeat(
+                hb, key, phase="running", started_at=now - 30.0, interval_s=interval
+            )
+            beat = json.loads((hb / f"{key}.json").read_text())
+            beat["last_progress"] = now - 20.0
+            (hb / f"{key}.json").write_text(json.dumps(beat))
+        by_key = {
+            s.key: s for s in collect_state(journal.path, now=now).in_flight
+        }
+        assert not by_key["unit:0000"].stale
+        assert by_key["unit:0001"].stale
+
+    def test_stale_fallback_without_interval(self, tmp_path):
+        journal = _seed_journal(tmp_path, n_specs=2, ok=())
+        hb = heartbeat_dir(journal.path)
+        hb.mkdir()
+        now = 1000.0
+        # Pre-interval_s heartbeat records fall back to STALE_AFTER_S.
+        write_heartbeat(hb, "unit:0000", phase="running", started_at=now - 30.0)
+        beat = json.loads((hb / "unit:0000.json").read_text())
+        del beat["interval_s"]
+        beat["last_progress"] = now - STALE_AFTER_S - 1.0
+        (hb / "unit:0000.json").write_text(json.dumps(beat))
+        (status,) = collect_state(journal.path, now=now).in_flight
+        assert status.stale
+        assert status.stale_after_s == STALE_AFTER_S
+
+    def test_unsettled_heartbeat_is_live_regardless_of_phase(self, tmp_path):
+        # A worker that crashed mid-phase leaves an arbitrary phase string;
+        # it must render (flagged stale once idle), never silently vanish.
+        journal = _seed_journal(tmp_path, n_specs=2, ok=())
+        hb = heartbeat_dir(journal.path)
+        hb.mkdir()
+        now = 1000.0
+        write_heartbeat(hb, "unit:0000", phase="done", started_at=now - 60.0)
+        beat = json.loads((hb / "unit:0000.json").read_text())
+        beat["last_progress"] = now - 50.0
+        (hb / "unit:0000.json").write_text(json.dumps(beat))
+        state = collect_state(journal.path, now=now)
+        (status,) = state.in_flight
+        assert status.key == "unit:0000"
+        assert status.stale
+        assert "STALE" in render_watch(state)
+
+    def test_deadline_miss_rate_rendered(self, tmp_path):
+        journal = _seed_journal(tmp_path, n_specs=2, ok=())
+        hb = heartbeat_dir(journal.path)
+        hb.mkdir()
+        now = 1000.0
+        write_heartbeat(
+            hb,
+            "unit:0000",
+            phase="running",
+            started_at=now - 1.0,
+            extra={"deadline_miss_rate": 0.25},
+        )
+        state = collect_state(journal.path, now=now)
+        assert state.in_flight[0].deadline_miss_rate == pytest.approx(0.25)
+        assert "miss-rate 25%" in render_watch(state)
 
     def test_render_progress_bar(self, tmp_path):
         journal = _seed_journal(tmp_path, n_specs=4, ok=(0, 1), failed=(2,))

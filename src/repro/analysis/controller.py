@@ -103,8 +103,16 @@ class EpochReport:
 
     @property
     def kept_up(self) -> bool:
-        """Whether the epoch drained everything that was queued."""
-        return self.backlog_after <= VOLUME_TOL * 1e3
+        """Whether the epoch drained everything that was queued.
+
+        The residual-backlog cutoff scales with the offered volume — the
+        same ``VOLUME_TOL * max(1, total)`` convention as
+        :meth:`EpochController.check_conservation` — because float dust
+        after serving a large epoch grows with the volumes involved: an
+        absolute cutoff reports ``kept_up == False`` on a fully-drained
+        1e9 Mb epoch purely from rounding.
+        """
+        return self.backlog_after <= VOLUME_TOL * max(1.0, self.offered_volume)
 
 
 @dataclass
@@ -152,7 +160,8 @@ class EpochController:
     deadline_clock:
         Clock read by the deadline budget; injectable (e.g. a
         :class:`~repro.service.deadline.TickClock`) for deterministic
-        tests.
+        tests.  Defaults to :func:`time.perf_counter` — duration
+        measurement must never read the steppable wall clock.
     max_backlog:
         Backpressure threshold (Mb).  When consecutive deadline misses
         reach ``backpressure_after_misses``, :meth:`offer` admits at most
@@ -178,7 +187,7 @@ class EpochController:
     journal: "RunJournal | None" = None
     fast_reroute: bool = False
     deadline_s: "float | None" = None
-    deadline_clock: Callable = field(default=time.monotonic, repr=False)
+    deadline_clock: Callable = field(default=time.perf_counter, repr=False)
     max_backlog: "float | None" = None
     overflow_policy: str = "shed"
     backpressure_after_misses: int = 1

@@ -14,7 +14,10 @@ Gives the library a no-code surface for the common workflows:
   over from dead composite paths) followed by a demand-estimation-error
   sweep (noise / staleness / missed entries);
 * ``sweep``    — the same sweeps under explicit journal control, plus
-  ``sweep --resume <journal>`` to finish an interrupted run.
+  ``sweep --resume <journal>`` to finish an interrupted run;
+* ``serve``    — the continuous scheduling service loop: async arrival
+  ingestion into the closed-loop epoch controller, per-epoch auxiliary
+  stages sharded across a warm worker pool, drain-on-SIGTERM.
 
 Resilient execution
 -------------------
@@ -88,6 +91,9 @@ from repro.utils.fileio import atomic_write_json, atomic_write_text
 from repro.utils.validation import check_demand_matrix
 
 WORKLOADS = ("skewed", "background", "typical", "intensive", "varying")
+
+#: Default sharded arms for `serve` (import-light: keep cli startup cheap).
+DEFAULT_SERVICE_ARMS = ("eclipse", "tdm")
 
 
 def _params(args) -> SwitchParams:
@@ -579,6 +585,123 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``serve``: run the scheduling service loop for N epochs."""
+    import asyncio
+    import signal
+
+    from repro.analysis.controller import EpochController
+    from repro.service import SchedulingService, ServiceConfig
+    from repro.workloads.arrivals import WorkloadArrivals
+
+    params = _params(args)
+    use_cp = args.switch == "cp"
+    deadline_s = None
+    if args.deadline is not None:
+        deadline_s = (
+            _check_positive_budget(args.deadline, "--deadline", unit="milliseconds")
+            / 1e3
+        )
+        if not use_cp:
+            raise SystemExit("serve: --deadline requires --switch cp")
+    arrivals = WorkloadArrivals(
+        _workload(args.workload, params, args.skewed_ports),
+        n_ports=params.n_ports,
+        seed=args.seed,
+        intensity=args.intensity,
+    )
+    journal = RunJournal(args.journal) if getattr(args, "journal", None) else None
+    controller = EpochController(
+        params=params,
+        scheduler=make_scheduler(args.scheduler),
+        use_composite_paths=use_cp,
+        epoch_duration=args.epoch_ms,
+        journal=journal,
+        deadline_s=deadline_s,
+        max_backlog=args.max_backlog,
+        overflow_policy=args.overflow,
+    )
+    arms = tuple(
+        part.strip() for part in (args.arms or "").split(",") if part.strip()
+    )
+    config = ServiceConfig(
+        n_epochs=args.epochs,
+        n_workers=args.workers,
+        queue_depth=args.queue_depth,
+        epoch_interval_s=args.interval,
+        arms=arms,
+        shard_backups=use_cp and not args.no_backups,
+        drain=not args.no_drain,
+    )
+    service = SchedulingService(controller, arrivals, config)
+    if args.sync:
+        report = service.run_sync()
+    else:
+
+        async def _serve():
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                # Drain, then exit cleanly — a deploy rollout must never
+                # strand queued demand.
+                try:
+                    loop.add_signal_handler(signum, service.request_stop)
+                except (NotImplementedError, RuntimeError):
+                    pass
+            return await service.run()
+
+        report = asyncio.run(_serve())
+
+    rows = [
+        [
+            outcome.report.epoch,
+            outcome.report.offered_volume,
+            outcome.report.served_volume,
+            outcome.report.backlog_after,
+            outcome.report.shed_volume,
+            "yes" if outcome.report.deadline_hit else "no",
+            outcome.report.fallback_level,
+            outcome.epoch_latency_s * 1e3,
+            len(outcome.arms),
+            len(outcome.shard_pids),
+        ]
+        for outcome in report.outcomes
+    ]
+    print(
+        format_table(
+            [
+                "epoch",
+                "offered (Mb)",
+                "served (Mb)",
+                "backlog (Mb)",
+                "shed (Mb)",
+                "miss",
+                "fallback",
+                "latency (ms)",
+                "arms",
+                "shards",
+            ],
+            rows,
+            title=(
+                f"scheduling service — {args.workload} workload, radix "
+                f"{args.radix}, {args.scheduler}, {config.n_workers} workers"
+            ),
+        )
+    )
+    print(
+        f"served {report.n_epochs} epoch(s): admitted {report.admitted_mb:.1f} Mb, "
+        f"shed {report.shed_mb:.1f} Mb, parked {report.parked_mb:.1f} Mb, "
+        f"backlog {report.backlog_mb:.1f} Mb; "
+        f"{report.slo_violations} SLO violation(s), "
+        f"{report.stage_retries} stage retrie(s), "
+        f"{len(report.worker_pids)} warm worker(s)"
+        + ("" if report.drained else "; stopped WITHOUT draining"),
+        file=sys.stderr,
+    )
+    if report.stopped_early:
+        print("serve: stopped early on request (drained queued epochs)", file=sys.stderr)
+    return 0
+
+
 def _load_obs_file(path: "str | Path", command: str):
     """Load a trace/snapshot for an obs subcommand with one-line errors."""
     path = Path(path)
@@ -927,6 +1050,53 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compare_args(sweep_sub.add_parser("compare", help="journaled compare sweep"))
     _add_figure_args(sweep_sub.add_parser("figure", help="journaled figure sweep"))
     _add_robustness_args(sweep_sub.add_parser("robustness", help="journaled robustness sweep"))
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the continuous scheduling service loop (asyncio ingestion, "
+        "monotonic epoch clock, warm-worker stage sharding)",
+    )
+    common(serve)
+    serve.add_argument("--epochs", type=int, default=8, metavar="N")
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        metavar="MS",
+        help="per-epoch scheduling deadline (anytime fallback ladder)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="K", help="warm stage-worker pool size (0 disables sharding)"
+    )
+    serve.add_argument("--workload", choices=WORKLOADS, default="skewed")
+    serve.add_argument("--skewed-ports", type=int, default=1)
+    serve.add_argument("--scheduler", choices=("solstice", "eclipse", "tdm"), default="solstice")
+    serve.add_argument("--switch", choices=("h", "cp"), default="cp")
+    serve.add_argument("--intensity", type=float, default=1.0, help="arrival volume multiplier")
+    serve.add_argument(
+        "--epoch-ms", type=float, metavar="MS",
+        help="simulated epoch length (default: run each schedule to completion)",
+    )
+    serve.add_argument(
+        "--interval", type=float, default=0.0, metavar="SECONDS",
+        help="monotonic epoch clock period (0 free-runs)",
+    )
+    serve.add_argument("--queue-depth", type=int, default=4, metavar="N")
+    serve.add_argument(
+        "--arms", default=",".join(DEFAULT_SERVICE_ARMS), metavar="NAMES",
+        help="comma-separated independent scheduler arms to shard each epoch "
+        "('' disables)",
+    )
+    serve.add_argument("--no-backups", action="store_true", help="skip the sharded backup-planning stage")
+    serve.add_argument(
+        "--max-backlog", type=float, metavar="MB",
+        help="backpressure threshold (see controller overflow policy)",
+    )
+    serve.add_argument("--overflow", choices=("shed", "park"), default="shed")
+    serve.add_argument("--no-drain", action="store_true", help="on stop, abandon queued batches instead of draining")
+    serve.add_argument("--sync", action="store_true", help="synchronous driver (bit-identical to the controller loop)")
+    serve.add_argument("--journal", metavar="PATH", help="append per-epoch records to this journal")
+    _add_obs_args(serve)
+    serve.set_defaults(func=cmd_serve)
 
     obs_parser = sub.add_parser("obs", help="observability tooling")
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)

@@ -62,6 +62,26 @@ def _stale_horizon_s(beat: dict) -> float:
     return STALE_INTERVAL_MULTIPLIER * interval
 
 
+def _elapsed_s(
+    beat: dict, mono_field: str, wall_field: str, now: float, now_mono: float
+) -> float:
+    """Seconds since the beat's ``mono_field`` reading, falling back to wall.
+
+    Liveness must be judged on the writer's monotonic reading whenever the
+    record carries one: ``CLOCK_MONOTONIC`` is boot-relative and shared by
+    every process on the machine, so ``now_mono - last_progress_mono`` is a
+    true idle duration regardless of NTP steps, whereas a wall-clock delta
+    jumps with the clock — a +1h step would flag every in-flight trial
+    STALE, and a backward step would make a wedged trial look fresh.
+    Records without the monotonic fields (older writers) keep the
+    wall-clock judgement.
+    """
+    reading = beat.get(mono_field)
+    if isinstance(reading, (int, float)):
+        return max(0.0, now_mono - float(reading))
+    return max(0.0, now - float(beat.get(wall_field, now)))
+
+
 @dataclass
 class TrialStatus:
     """One in-flight trial as seen through its heartbeat."""
@@ -124,9 +144,17 @@ def _median(values: "list[float]") -> "float | None":
 
 
 def collect_state(
-    journal_path: "str | Path", *, now: "float | None" = None
+    journal_path: "str | Path",
+    *,
+    now: "float | None" = None,
+    now_mono: "float | None" = None,
 ) -> WatchState:
-    """Read the journal + heartbeat directory into one consistent snapshot."""
+    """Read the journal + heartbeat directory into one consistent snapshot.
+
+    ``now`` (wall clock) and ``now_mono`` (monotonic) are injectable for
+    tests; idleness/age of heartbeats carrying monotonic fields is judged
+    against ``now_mono``, never the steppable wall clock.
+    """
     journal_path = Path(journal_path)
     journal = RunJournal(journal_path)
     header = journal.header
@@ -136,6 +164,7 @@ def collect_state(
             "(pass the journal `python -m repro sweep --journal` wrote)"
         )
     now = time.time() if now is None else now
+    now_mono = time.monotonic() if now_mono is None else now_mono
 
     spec_keys = [item["key"] for item in header.get("spec", [])]
     done_keys = set(journal.completed())
@@ -169,8 +198,8 @@ def collect_state(
         # staleness check below is what separates running from wedged.
         if key in settled:
             continue
-        age = max(0.0, now - float(beat.get("started_at", now)))
-        idle = max(0.0, now - float(beat.get("last_progress", now)))
+        age = _elapsed_s(beat, "started_at_mono", "started_at", now, now_mono)
+        idle = _elapsed_s(beat, "last_progress_mono", "last_progress", now, now_mono)
         horizon = _stale_horizon_s(beat)
         miss_rate = beat.get("deadline_miss_rate")
         in_flight.append(

@@ -26,6 +26,7 @@ from repro.runner.isolation import (
     run_inline,
 )
 from repro.runner.journal import JOURNAL_FORMAT, JournalFormatError, RunJournal
+from repro.runner.pool import StageResult, StageTask, WorkerPool, absorb_observations
 from repro.runner.retry import RetryPolicy
 from repro.runner.sweep import SweepConfig, SweepResult, SweepRunner, specs_from_journal
 
@@ -37,9 +38,13 @@ __all__ = [
     "RetryPolicy",
     "RunJournal",
     "SweepConfig",
+    "StageResult",
+    "StageTask",
     "SweepResult",
     "SweepRunner",
     "TrialFailure",
+    "WorkerPool",
+    "absorb_observations",
     "TrialOutcome",
     "TrialSpec",
     "demand_fingerprint",

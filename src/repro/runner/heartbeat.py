@@ -23,13 +23,26 @@ field                   meaning
 ``retries``             completed attempts that failed (attempt - 1)
 ``spans_so_far``        closed obs spans in the worker (0 if obs is off)
 ``pid``                 worker pid (``running`` phase), else the parent's
-``started_at``          Unix time the trial's first attempt began
-``last_progress``       Unix time of the most recent update — staleness
-                        here is how ``obs watch`` flags hung trials
+``started_at``          Unix time the trial's first attempt began (display)
+``started_at_mono``     the writer's ``time.monotonic()`` when the first
+                        attempt began — age is judged on this, never on the
+                        steppable wall clock
+``last_progress``       Unix time of the most recent update (display only)
+``last_progress_mono``  the writer's ``time.monotonic()`` at the most recent
+                        update — *this* is what ``obs watch`` judges
+                        staleness on: an NTP step forward must not flag
+                        every in-flight trial STALE, and a step backward
+                        must not make a wedged trial look fresh
 ``interval_s``          the writer's declared refresh cadence; ``obs watch``
                         flags a beat idle for more than 3× this as ``STALE``
                         (a crashed worker must not render as running forever)
 ======================  ======================================================
+
+On Linux ``time.monotonic()`` is ``CLOCK_MONOTONIC`` — a single
+boot-relative clock shared by every process on the machine — so a reader's
+``time.monotonic()`` minus the writer's recorded ``last_progress_mono`` is
+a true idle duration even across processes.  Records written before the
+monotonic fields existed fall back to the wall-clock judgement.
 
 Writers may attach extra advisory fields (e.g. a controller worker's
 ``deadline_miss_rate``); readers ignore what they do not know.
@@ -92,22 +105,29 @@ def write_heartbeat(
     experiment: str = "",
     attempt: int = 1,
     started_at: "float | None" = None,
+    started_at_mono: "float | None" = None,
     spans_so_far: int = 0,
     interval_s: float = TICK_INTERVAL_S,
     extra: "dict | None" = None,
+    wall_clock: Callable[[], float] = time.time,
+    mono_clock: Callable[[], float] = time.monotonic,
 ) -> Path:
     """Atomically (re)write the heartbeat file of one trial key.
 
     ``interval_s`` declares how often the writer intends to refresh this
     beat — the staleness contract ``obs watch`` judges against.  ``extra``
     merges advisory fields into the record (never overriding the envelope).
+    ``wall_clock``/``mono_clock`` are injectable for stepped-clock tests;
+    the wall timestamps are display-only — liveness is judged on the
+    monotonic fields (see the record schema above).
 
     Best-effort by design: an unwritable directory (read-only scratch,
     deleted mid-sweep) must never fail the trial, so ``OSError`` is
     swallowed and the sweep carries on without monitoring.
     """
     directory = Path(directory)
-    now = time.time()
+    now = wall_clock()
+    now_mono = mono_clock()
     record = dict(extra) if extra else {}
     record.update(
         {
@@ -120,7 +140,11 @@ def write_heartbeat(
             "spans_so_far": spans_so_far,
             "pid": os.getpid(),
             "started_at": started_at if started_at is not None else now,
+            "started_at_mono": (
+                started_at_mono if started_at_mono is not None else now_mono
+            ),
             "last_progress": now,
+            "last_progress_mono": now_mono,
             "interval_s": float(interval_s),
         }
     )
@@ -186,6 +210,7 @@ class HeartbeatTicker:
         self._interval_s = interval_s
         self._status_fn = status_fn
         self._started_at = time.time()
+        self._started_at_mono = time.monotonic()
         self._stop = threading.Event()
         self._thread: "threading.Thread | None" = None
 
@@ -205,6 +230,7 @@ class HeartbeatTicker:
             experiment=self._experiment,
             attempt=self._attempt,
             started_at=self._started_at,
+            started_at_mono=self._started_at_mono,
             spans_so_far=_spans_so_far(),
             interval_s=self._interval_s,
             extra=extra,

@@ -103,12 +103,21 @@ def resolve_fn(path: str):
     return fn
 
 
-def _error_dict(exc: BaseException) -> dict:
+def error_dict(exc: BaseException) -> dict:
+    """Normalize an exception into the journal-friendly error envelope.
+
+    Shared by the one-shot subprocess worker below and the warm
+    :class:`~repro.runner.pool.WorkerPool` workers.
+    """
     return {
         "type": type(exc).__name__,
         "message": str(exc),
         "traceback": traceback.format_exc(),
     }
+
+
+#: Backwards-compatible alias (pre-pool internal name).
+_error_dict = error_dict
 
 
 def run_inline(spec: TrialSpec) -> TrialOutcome:
@@ -127,14 +136,22 @@ def run_inline(spec: TrialSpec) -> TrialOutcome:
     )
 
 
-def _obs_blob() -> "dict | None":
-    """The worker's observations, to ship back over the result pipe."""
+def obs_blob() -> "dict | None":
+    """The worker's observations, to ship back over the result pipe.
+
+    Draining the tracer means repeated calls (a warm pool worker blobbing
+    once per task) each ship only the spans closed since the last call.
+    """
     if not obs.active():
         return None
     return {
         "spans": obs.get_tracer().drain(),
         "metrics": obs.get_metrics().snapshot(),
     }
+
+
+#: Backwards-compatible alias (pre-pool internal name).
+_obs_blob = obs_blob
 
 
 def _subprocess_worker(conn, fn_path: str, kwargs: dict, heartbeat=None) -> None:

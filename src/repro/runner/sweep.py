@@ -167,6 +167,7 @@ class SweepRunner:
         outcome: "TrialOutcome | None" = None
         hb_dir = self._heartbeat_dir()
         started_at = time.time()
+        started_at_mono = time.monotonic()
         with obs.profiled(
             "runner.trial", key=spec.key, experiment=spec.experiment
         ) as span:
@@ -180,6 +181,7 @@ class SweepRunner:
                         experiment=spec.experiment,
                         attempt=attempts,
                         started_at=started_at,
+                        started_at_mono=started_at_mono,
                     )
                 outcome = self._attempt(spec, attempts, hb_dir)
                 if outcome.ok:
@@ -215,6 +217,7 @@ class SweepRunner:
                     experiment=spec.experiment,
                     attempt=attempts,
                     started_at=started_at,
+                    started_at_mono=started_at_mono,
                 )
             return
 
@@ -231,6 +234,7 @@ class SweepRunner:
                 experiment=spec.experiment,
                 attempt=attempts,
                 started_at=started_at,
+                started_at_mono=started_at_mono,
             )
         if obs.active():
             obs.get_tracer().event(

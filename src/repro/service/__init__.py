@@ -1,10 +1,14 @@
-"""Service-grade scheduling wrappers (deadlines, graceful degradation).
+"""Service-grade scheduling: deadlines, graceful degradation, the loop.
 
 The batch pipeline assumes the scheduler finishes before its results are
-needed.  A long-running scheduling service (ROADMAP open item 1) needs the
+needed.  A long-running scheduling service (ROADMAP item 1) needs the
 opposite guarantee: an epoch always has *some* valid schedule by its
 wall-clock deadline.  :mod:`repro.service.deadline` provides the budget
-and the anytime wrapper that make that guarantee explicit.
+and the anytime wrapper that make that guarantee explicit;
+:mod:`repro.service.loop` wraps the epoch controller into the continuous
+asyncio loop a deployment would operate (ingestion, monotonic epoch
+clock, warm-worker stage sharding, drain-on-stop), and
+:mod:`repro.service.stages` holds the pool-addressable per-epoch stages.
 """
 
 from repro.service.deadline import (
@@ -18,11 +22,23 @@ from repro.service.deadline import (
     DeadlineBudget,
     TickClock,
 )
+from repro.service.loop import (
+    EpochOutcome,
+    SchedulingService,
+    ServiceConfig,
+    ServiceReport,
+)
+from repro.service.stages import DEFAULT_ARMS
 
 __all__ = [
     "AnytimeOutcome",
     "AnytimeScheduler",
     "DeadlineBudget",
+    "DEFAULT_ARMS",
+    "EpochOutcome",
+    "SchedulingService",
+    "ServiceConfig",
+    "ServiceReport",
     "TickClock",
     "FALLBACK_FULL",
     "FALLBACK_TRUNCATED",

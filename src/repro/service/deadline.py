@@ -128,13 +128,16 @@ class DeadlineBudget:
         Budget in seconds; ``None`` or ``inf`` never exhausts.
     clock:
         Monotonic time source (injectable; see :class:`TickClock`).
+        Defaults to :func:`time.perf_counter` — the highest-resolution
+        monotonic clock available; duration deltas must never come from
+        the steppable wall clock.
     """
 
     def __init__(
         self,
         deadline_s: "float | None",
         *,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.deadline_s = _check_deadline(deadline_s)
         self._clock = clock
@@ -271,7 +274,8 @@ class AnytimeScheduler:
     deadline_s:
         Per-call wall-clock budget in seconds (``None``/``inf`` unbounded).
     clock:
-        Monotonic time source for the budget (injectable for tests).
+        Monotonic time source for the budget (injectable for tests;
+        defaults to :func:`time.perf_counter`, never the wall clock).
     hard_overdraft:
         Elapsed/deadline ratio past which L3 is skipped for L4.
     tdm:
@@ -280,7 +284,7 @@ class AnytimeScheduler:
 
     inner: CpSwitchScheduler
     deadline_s: "float | None" = None
-    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+    clock: Callable[[], float] = field(default=time.perf_counter, repr=False)
     hard_overdraft: float = DEFAULT_HARD_OVERDRAFT
     tdm: TdmScheduler = field(default_factory=TdmScheduler, repr=False)
     last_outcome: "AnytimeOutcome | None" = field(

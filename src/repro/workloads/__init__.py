@@ -11,7 +11,7 @@ mice 3 Mb → 300 Mb), captured by a single ``volume_scale`` parameter
 (1.0 = fast OCS, 100.0 = slow OCS).
 """
 
-from repro.workloads.arrivals import burst_on
+from repro.workloads.arrivals import arrival_stream, burst_on
 from repro.workloads.background import TypicalBackgroundWorkload
 from repro.workloads.base import DemandSpec, Workload, volume_scale_for
 from repro.workloads.coflows import BurstyCoflowWorkload
@@ -27,6 +27,7 @@ __all__ = [
     "TypicalBackgroundWorkload",
     "VaryingSkewWorkload",
     "Workload",
+    "arrival_stream",
     "burst_on",
     "volume_scale_for",
 ]

@@ -45,3 +45,35 @@ def crashing_trial(*, trial: int = 0) -> dict:
 def demand_for(*, trial: int = 0, **_ignored) -> np.ndarray:
     """Deterministic per-trial demand matrix for quarantine tests."""
     return np.full((4, 4), float(trial + 1))
+
+
+def pid_stage(*, tag: str = "") -> dict:
+    """Pool stage reporting which worker process ran it."""
+    return {"tag": tag, "pid": os.getpid()}
+
+
+def die_once_stage(*, marker: str, value: float = 1.0) -> dict:
+    """Kills its worker on the first attempt, succeeds on the retry.
+
+    The marker file carries the death across processes: the retry (on a
+    freshly respawned worker) finds it and returns normally.
+    """
+    path = Path(marker)
+    if not path.exists():
+        path.write_text("first attempt died here")
+        os._exit(23)
+    return {"recovered": True, "value": value, "pid": os.getpid()}
+
+
+def always_die_stage(**_ignored) -> dict:
+    """Kills its worker on every attempt — exhausts the retry budget."""
+    os._exit(29)
+
+
+def traced_stage(*, value: float = 1.0) -> dict:
+    """Pool stage that emits an obs span + counter for blob-shipping tests."""
+    from repro import obs
+
+    with obs.profiled("pool.stage", value=value):
+        obs.get_metrics().counter("pool_stage_total", "stages run").inc()
+    return {"value": value}

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.hybrid.solstice import SolsticeScheduler
-from repro.analysis.controller import EpochController
+from repro.analysis.controller import EpochController, EpochReport
 from repro.switch.params import fast_ocs_params
 
 
@@ -252,4 +252,52 @@ class TestDeadlineBackpressure:
             report, result = controller.run_epoch(epoch)
             result.check_conservation()
             assert report.fallback_level in (0, 1, 2, 3, 4)
+        controller.check_conservation()
+
+
+class TestKeptUpScaling:
+    """kept_up must use a *relative* residual cutoff (VOLUME_TOL-scaled)."""
+
+    def _report(self, offered: float, backlog: float) -> "EpochReport":
+        return EpochReport(
+            epoch=0,
+            offered_volume=offered,
+            scheduled_volume=offered,
+            served_volume=offered - backlog,
+            completion_time=1.0,
+            n_configs=1,
+            makespan=1.0,
+            backlog_after=backlog,
+        )
+
+    def test_large_epoch_float_dust_still_kept_up(self):
+        # 0.25 Mb of float dust after a fully-drained 1e9 Mb epoch is
+        # 2.5e-10 relative; the old absolute cutoff (VOLUME_TOL * 1e3)
+        # misreported this as falling behind.
+        assert self._report(1e9, 0.25).kept_up
+
+    def test_cutoff_scales_with_offered_volume(self):
+        assert self._report(1e9, 1.0).kept_up  # exactly VOLUME_TOL * 1e9
+        assert not self._report(1e9, 2.5).kept_up  # genuine residual
+
+    def test_small_epoch_cutoff_stays_strict(self):
+        # max(1, total) floors the scale: tiny epochs keep the absolute
+        # VOLUME_TOL cutoff rather than an even smaller relative one.
+        assert not self._report(1.0, 1e-6).kept_up
+        assert self._report(1.0, 5e-10).kept_up
+        assert self._report(0.0, 0.0).kept_up
+
+    def test_radix128_gigabit_epoch_keeps_up(self):
+        # End-to-end acceptance: a radix-128 epoch scaled past 1e9 Mb of
+        # offered volume drains and *reports* kept_up despite float dust.
+        n = 128
+        controller = EpochController(fast_ocs_params(n), SolsticeScheduler())
+        demand = skew_arrivals(n)(0)
+        demand *= 1.5e9 / demand.sum()
+        offered = controller.offer(demand)
+        assert offered >= 1e9
+        report, _result = controller.run_epoch()
+        assert report.offered_volume >= 1e9
+        assert report.kept_up
+        assert controller.voqs.backlog <= 1e-9 * offered
         controller.check_conservation()

@@ -43,6 +43,25 @@ def _config(**overrides) -> SweepConfig:
     return SweepConfig(**overrides)
 
 
+def _rewrite_beat(hb, key, *, drop=(), **updates):
+    """Hand-edit a heartbeat file into a *wall-clock-only* legacy record.
+
+    The monotonic fields are stripped so the staleness judgement falls
+    back to the wall-clock fields the test is manipulating (records with
+    monotonic readings ignore wall-clock edits entirely — that is the
+    point of the monotonic contract, tested separately below).
+    """
+    path = hb / f"{key}.json"
+    beat = json.loads(path.read_text())
+    beat.pop("started_at_mono", None)
+    beat.pop("last_progress_mono", None)
+    for name in drop:
+        beat.pop(name, None)
+    beat.update(updates)
+    path.write_text(json.dumps(beat))
+    return beat
+
+
 class TestHeartbeatFiles:
     def test_safe_filename_passthrough(self):
         assert _safe_filename("unit:0001") == "unit:0001.json"
@@ -143,14 +162,10 @@ class TestCollectState:
         now = 1000.0
         # Straggler: started far beyond the p95 of 1s-completions, still ticking.
         write_heartbeat(hb, "unit:0004", phase="running", started_at=now - 50.0)
-        slow = json.loads((hb / "unit:0004.json").read_text())
-        slow["last_progress"] = now - 0.1
-        (hb / "unit:0004.json").write_text(json.dumps(slow))
+        _rewrite_beat(hb, "unit:0004", last_progress=now - 0.1)
         # Stale: no progress tick for longer than STALE_AFTER_S.
         write_heartbeat(hb, "unit:0005", phase="running", started_at=now - 0.5)
-        hung = json.loads((hb / "unit:0005.json").read_text())
-        hung["last_progress"] = now - STALE_AFTER_S - 5.0
-        (hb / "unit:0005.json").write_text(json.dumps(hung))
+        _rewrite_beat(hb, "unit:0005", last_progress=now - STALE_AFTER_S - 5.0)
         # Settled trials' heartbeats must not count as in-flight.
         write_heartbeat(hb, "unit:0000", phase="done")
         write_heartbeat(hb, "unit:0003", phase="running", started_at=now - 1.0)
@@ -175,9 +190,7 @@ class TestCollectState:
             write_heartbeat(
                 hb, key, phase="running", started_at=now - 30.0, interval_s=interval
             )
-            beat = json.loads((hb / f"{key}.json").read_text())
-            beat["last_progress"] = now - 20.0
-            (hb / f"{key}.json").write_text(json.dumps(beat))
+            _rewrite_beat(hb, key, last_progress=now - 20.0)
         by_key = {
             s.key: s for s in collect_state(journal.path, now=now).in_flight
         }
@@ -191,10 +204,10 @@ class TestCollectState:
         now = 1000.0
         # Pre-interval_s heartbeat records fall back to STALE_AFTER_S.
         write_heartbeat(hb, "unit:0000", phase="running", started_at=now - 30.0)
-        beat = json.loads((hb / "unit:0000.json").read_text())
-        del beat["interval_s"]
-        beat["last_progress"] = now - STALE_AFTER_S - 1.0
-        (hb / "unit:0000.json").write_text(json.dumps(beat))
+        _rewrite_beat(
+            hb, "unit:0000", drop=("interval_s",),
+            last_progress=now - STALE_AFTER_S - 1.0,
+        )
         (status,) = collect_state(journal.path, now=now).in_flight
         assert status.stale
         assert status.stale_after_s == STALE_AFTER_S
@@ -207,9 +220,7 @@ class TestCollectState:
         hb.mkdir()
         now = 1000.0
         write_heartbeat(hb, "unit:0000", phase="done", started_at=now - 60.0)
-        beat = json.loads((hb / "unit:0000.json").read_text())
-        beat["last_progress"] = now - 50.0
-        (hb / "unit:0000.json").write_text(json.dumps(beat))
+        _rewrite_beat(hb, "unit:0000", last_progress=now - 50.0)
         state = collect_state(journal.path, now=now)
         (status,) = state.in_flight
         assert status.key == "unit:0000"
@@ -241,6 +252,80 @@ class TestCollectState:
         assert _percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
         assert _percentile([5.0], 95.0) == 5.0
         assert _percentile([], 95.0) == 0.0
+
+
+class TestMonotonicStaleness:
+    """Liveness judged on the writer's monotonic tick, never the wall clock.
+
+    These tests step the two clocks *independently* via the injectable
+    seams: the wall clock models NTP steps, the monotonic clock models
+    true elapsed time.
+    """
+
+    def _journal_with_beat(self, tmp_path, *, wall, mono, interval_s=1.0):
+        journal = _seed_journal(tmp_path, n_specs=2, ok=())
+        hb = heartbeat_dir(journal.path)
+        hb.mkdir()
+        write_heartbeat(
+            hb,
+            "unit:0000",
+            phase="running",
+            interval_s=interval_s,
+            wall_clock=lambda: wall,
+            mono_clock=lambda: mono,
+        )
+        return journal
+
+    def test_writer_records_monotonic_fields(self, tmp_path):
+        journal = self._journal_with_beat(tmp_path, wall=1000.0, mono=500.0)
+        beat = read_heartbeats(heartbeat_dir(journal.path))["unit:0000"]
+        assert beat["started_at"] == pytest.approx(1000.0)
+        assert beat["started_at_mono"] == pytest.approx(500.0)
+        assert beat["last_progress_mono"] == pytest.approx(500.0)
+
+    def test_wall_clock_jump_does_not_flag_stale(self, tmp_path):
+        # +1h NTP step between the beat and the watch: the trial last beat
+        # 0.5 *monotonic* seconds ago, so it is fresh — the wall delta of
+        # 3600.5s must be ignored.
+        journal = self._journal_with_beat(tmp_path, wall=1000.0, mono=500.0)
+        state = collect_state(
+            journal.path, now=1000.0 + 3600.0, now_mono=500.5
+        )
+        (status,) = state.in_flight
+        assert not status.stale
+        assert status.idle_s == pytest.approx(0.5)
+        assert status.age_s == pytest.approx(0.5)
+
+    def test_backward_wall_step_does_not_hide_wedged_trial(self, tmp_path):
+        # Wall clock stepped *backwards* past the beat; monotonically the
+        # writer has been idle for 3× its declared interval + slack → STALE.
+        journal = self._journal_with_beat(
+            tmp_path, wall=1000.0, mono=500.0, interval_s=1.0
+        )
+        state = collect_state(journal.path, now=990.0, now_mono=500.0 + 3.5)
+        (status,) = state.in_flight
+        assert status.stale
+        assert status.idle_s == pytest.approx(3.5)
+
+    def test_monotonic_idle_flags_stale(self, tmp_path):
+        journal = self._journal_with_beat(
+            tmp_path, wall=1000.0, mono=500.0, interval_s=1.0
+        )
+        # Wall clock says fresh (same instant); monotonic says long idle.
+        state = collect_state(journal.path, now=1000.0, now_mono=504.0)
+        (status,) = state.in_flight
+        assert status.stale
+
+    def test_legacy_record_falls_back_to_wall(self, tmp_path):
+        journal = self._journal_with_beat(
+            tmp_path, wall=1000.0, mono=500.0, interval_s=1.0
+        )
+        hb = heartbeat_dir(journal.path)
+        _rewrite_beat(hb, "unit:0000", last_progress=1000.0 - 20.0)
+        state = collect_state(journal.path, now=1000.0, now_mono=500.1)
+        (status,) = state.in_flight
+        assert status.stale  # wall path: 20s idle > 3×1s
+        assert status.idle_s == pytest.approx(20.0)
 
 
 class TestRunnerIntegration:

@@ -1,0 +1,194 @@
+"""Tests for the warm worker pool (:mod:`repro.runner.pool`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.runner.pool import (
+    StageResult,
+    StageTask,
+    WorkerPool,
+    absorb_observations,
+)
+
+_PID = "tests._runner_trials:pid_stage"
+_OK = "tests._runner_trials:ok_trial"
+_FAIL = "tests._runner_trials:failing_trial"
+_DIE_ONCE = "tests._runner_trials:die_once_stage"
+_ALWAYS_DIE = "tests._runner_trials:always_die_stage"
+_TRACED = "tests._runner_trials:traced_stage"
+
+
+def _tasks(n, fn=_PID, **kwargs):
+    return [StageTask(name=f"t{i}", fn=fn, kwargs=dict(kwargs, tag=f"t{i}")) for i in range(n)]
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            WorkerPool(0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="retries"):
+            WorkerPool(1, retries=-1)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            WorkerPool(1, timeout_s=0.0)
+
+    def test_map_after_close_raises(self):
+        pool = WorkerPool(1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map(_tasks(1))
+
+    def test_empty_map_is_noop(self):
+        with WorkerPool(1) as pool:
+            assert pool.map([]) == []
+
+
+class TestExecution:
+    def test_results_in_task_order(self):
+        with WorkerPool(2) as pool:
+            results = pool.map(_tasks(6))
+        assert [r.name for r in results] == [f"t{i}" for i in range(6)]
+        assert all(r.ok and r.status == "ok" for r in results)
+        assert all(r.payload["tag"] == r.name for r in results)
+
+    def test_work_spreads_across_workers(self):
+        with WorkerPool(2) as pool:
+            results = pool.map(_tasks(8))
+            pids = {r.pid for r in results}
+            assert pids <= set(pool.pids)
+        assert len(pids) == 2  # both warm workers actually executed stages
+
+    def test_workers_stay_warm_across_maps(self):
+        with WorkerPool(2) as pool:
+            first = pool.map(_tasks(4))
+            before = sorted(pool.pids)
+            second = pool.map(_tasks(4))
+            after = sorted(pool.pids)
+        assert before == after  # no fork-per-call: the processes persist
+        assert {r.pid for r in first} == {r.pid for r in second}
+
+    def test_error_is_contained_not_retried(self):
+        with WorkerPool(1, retries=2) as pool:
+            (result,) = pool.map(
+                [StageTask(name="bad", fn=_FAIL, kwargs={"message": "kaboom"})]
+            )
+        assert result.status == "error"
+        assert not result.ok
+        assert result.error["type"] == "RuntimeError"
+        assert "kaboom" in result.error["message"]
+        assert result.attempts == 1  # exceptions are deterministic: no retry
+
+    def test_mixed_batch_keeps_slots_straight(self):
+        tasks = [
+            StageTask(name="ok", fn=_OK, kwargs={"trial": 1}),
+            StageTask(name="bad", fn=_FAIL, kwargs={}),
+            StageTask(name="ok2", fn=_OK, kwargs={"trial": 2}),
+        ]
+        with WorkerPool(2) as pool:
+            results = pool.map(tasks)
+        assert [r.status for r in results] == ["ok", "error", "ok"]
+        assert results[0].payload["trial"] == 1
+        assert results[2].payload["trial"] == 2
+
+
+class TestCrashRecovery:
+    def test_worker_death_respawns_and_retries(self, tmp_path):
+        marker = tmp_path / "died.marker"
+        with WorkerPool(2) as pool:
+            (result,) = pool.map(
+                [StageTask(name="flaky", fn=_DIE_ONCE, kwargs={"marker": str(marker)})]
+            )
+            assert pool.worker_deaths == 1
+            assert pool.tasks_retried == 1
+            assert pool.n_workers == 2  # the dead worker was replaced
+        assert result.ok
+        assert result.payload["recovered"] is True
+        assert result.attempts == 2
+
+    def test_retry_budget_exhaustion_reports_crashed(self):
+        with WorkerPool(1, retries=1) as pool:
+            (result,) = pool.map([StageTask(name="doom", fn=_ALWAYS_DIE, kwargs={})])
+            assert pool.worker_deaths == 2  # initial + one retry, both died
+        assert result.status == "crashed"
+        assert result.error["type"] == "WorkerDied"
+        assert result.attempts == 2
+
+    def test_no_retries_crashes_immediately(self):
+        with WorkerPool(1, retries=0) as pool:
+            (result,) = pool.map([StageTask(name="doom", fn=_ALWAYS_DIE, kwargs={})])
+        assert result.status == "crashed"
+        assert result.attempts == 1
+
+    def test_survivors_complete_around_a_crash(self, tmp_path):
+        marker = tmp_path / "died.marker"
+        tasks = _tasks(4) + [
+            StageTask(name="flaky", fn=_DIE_ONCE, kwargs={"marker": str(marker)})
+        ]
+        with WorkerPool(2) as pool:
+            results = pool.map(tasks)
+        assert [r.status for r in results] == ["ok"] * 5
+
+    def test_wedged_worker_times_out(self):
+        with WorkerPool(1, retries=0, timeout_s=0.5) as pool:
+            (result,) = pool.map(
+                [
+                    StageTask(
+                        name="hang",
+                        fn="tests._runner_trials:sleepy_trial",
+                        kwargs={"seconds": 60.0},
+                    )
+                ]
+            )
+            assert pool.worker_deaths == 1
+        assert result.status == "crashed"
+        assert "wall-clock budget" in result.error["message"]
+
+
+class TestObservability:
+    def test_stage_obs_blobs_ship_and_absorb(self):
+        tracer = obs.JsonlTracer()
+        registry = obs.MetricsRegistry()
+        with obs.observability(tracer=tracer, metrics=registry):
+            # Workers fork after the backends are live, so they inherit
+            # enabled obs and ship their spans/metrics back per task.
+            with WorkerPool(2) as pool:
+                results = pool.map(
+                    [
+                        StageTask(name=f"s{i}", fn=_TRACED, kwargs={"value": float(i)})
+                        for i in range(3)
+                    ]
+                )
+            root = tracer.begin("test.root")
+            absorb_observations(results)
+            tracer.end(root)
+        assert all(r.obs for r in results)
+        names = [record.get("name") for record in tracer.records()]
+        assert names.count("pool.stage") == 3
+        (entry,) = registry.snapshot()["pool_stage_total"]["values"]
+        assert entry["value"] == 3
+
+    def test_absorb_without_backends_is_noop(self):
+        result = StageResult(
+            name="s", status="ok", payload={}, obs={"spans": [], "metrics": {}}
+        )
+        absorb_observations([result])  # obs inactive: must not raise
+
+
+class TestShutdown:
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.map(_tasks(2))
+        pool.close()
+        pool.close()
+        assert pool.pids == []
+
+    def test_context_manager_reaps_workers(self):
+        with WorkerPool(2) as pool:
+            pool.map(_tasks(2))
+            procs = [w.process for w in pool._workers]
+        assert all(not p.is_alive() for p in procs)

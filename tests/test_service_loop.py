@@ -1,0 +1,388 @@
+"""Tests for the asyncio scheduling service (:mod:`repro.service.loop`).
+
+The load-bearing contracts:
+
+* the synchronous driver is **bit-identical** to
+  :meth:`EpochController.run` (hypothesis-fuzzed across schedulers and
+  kernel backends);
+* the asyncio driver offers/executes the same epoch sequence, shards the
+  auxiliary stages across warm workers, and drains cleanly on stop;
+* sustained overload sheds through the controller's conservation ledger —
+  the service audits it at the end of every run, so a lost byte fails
+  the report;
+* a worker death mid-stage respawns the worker and retries the stage.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import obs
+from repro.analysis.controller import EpochController
+from repro.hybrid.base import make_scheduler
+from repro.matching import kernels
+from repro.runner.heartbeat import heartbeat_dir, read_heartbeats
+from repro.runner.journal import RunJournal
+from repro.runner.pool import StageTask
+from repro.service import SchedulingService, ServiceConfig, TickClock
+from repro.service.loop import ServiceReport
+from repro.switch.params import fast_ocs_params
+from repro.workloads.arrivals import WorkloadArrivals, arrival_stream
+from repro.workloads.skewed import SkewedWorkload
+
+N = 8
+PARAMS = fast_ocs_params(N)
+BACKENDS = (kernels.ORACLE, kernels.KERNEL)
+
+_DIE_ONCE = "tests._runner_trials:die_once_stage"
+
+
+def make_controller(**overrides) -> EpochController:
+    overrides.setdefault("params", PARAMS)
+    overrides.setdefault("scheduler", make_scheduler("solstice"))
+    overrides.setdefault("use_composite_paths", True)
+    overrides.setdefault("epoch_duration", 50.0)
+    return EpochController(**overrides)
+
+
+def make_arrivals(seed: int = 7, intensity: float = 0.5) -> WorkloadArrivals:
+    return WorkloadArrivals(
+        SkewedWorkload(), n_ports=N, seed=seed, intensity=intensity
+    )
+
+
+def fuzz_demand(n: int = N, max_value: float = 12.0):
+    """Strategy: one sparse non-negative demand matrix at radix ``n``."""
+    return st.tuples(
+        arrays(
+            np.float64,
+            (n, n),
+            elements=st.floats(0.0, max_value, allow_nan=False, width=32),
+        ),
+        arrays(np.bool_, (n, n)),
+    ).map(lambda pair: pair[0] * pair[1] * (~np.eye(n, dtype=bool)))
+
+
+class TestArrivalStream:
+    def test_yields_exact_process_draws(self):
+        arrivals = make_arrivals()
+
+        async def collect():
+            return [item async for item in arrival_stream(arrivals, 3)]
+
+        items = asyncio.run(collect())
+        assert [epoch for epoch, _ in items] == [0, 1, 2]
+        for epoch, demand in items:
+            np.testing.assert_array_equal(demand, arrivals(epoch))
+
+    def test_paces_between_yields(self):
+        naps = []
+
+        async def fake_sleep(seconds):
+            naps.append(seconds)
+
+        async def collect():
+            stream = arrival_stream(
+                make_arrivals(), 3, pace_s=0.25, sleep=fake_sleep
+            )
+            return [item async for item in stream]
+
+        items = asyncio.run(collect())
+        assert len(items) == 3
+        assert naps == [0.25, 0.25]  # no trailing sleep after the last yield
+
+    def test_rejects_negative_pace(self):
+        stream = arrival_stream(make_arrivals(), 1, pace_s=-1.0)
+        with pytest.raises(ValueError, match="pace_s"):
+            asyncio.run(stream.__anext__())
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_epochs": 0},
+            {"n_workers": -1},
+            {"queue_depth": 0},
+            {"epoch_interval_s": -0.1},
+            {"stage_retries": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)
+
+
+class TestSyncDriver:
+    def test_bit_identical_to_controller_run(self):
+        arrivals = make_arrivals()
+        reference = make_controller().run(arrivals, 4)
+        service = SchedulingService(
+            make_controller(), arrivals, ServiceConfig(n_epochs=4, n_workers=0)
+        )
+        report = service.run_sync()
+        assert report.reports == reference
+        assert report.n_epochs == 4
+        assert not report.stopped_early
+
+    def test_requires_finite_epochs(self):
+        service = SchedulingService(
+            make_controller(), make_arrivals(), ServiceConfig(n_epochs=None)
+        )
+        with pytest.raises(ValueError, match="n_epochs"):
+            service.run_sync()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("name", ["solstice", "eclipse"])
+    @given(demands=st.lists(fuzz_demand(), min_size=2, max_size=3))
+    @settings(max_examples=10, deadline=None)
+    def test_fuzzed_bit_identity(self, backend, name, demands):
+        arrivals = lambda epoch: demands[epoch]  # noqa: E731
+        with kernels.use_backend(backend):
+            reference = make_controller(scheduler=make_scheduler(name)).run(
+                arrivals, len(demands)
+            )
+            service = SchedulingService(
+                make_controller(scheduler=make_scheduler(name)),
+                arrivals,
+                ServiceConfig(n_epochs=len(demands), n_workers=0),
+            )
+            report = service.run_sync()
+        assert report.reports == reference
+
+
+class TestAsyncDriver:
+    def test_same_reports_as_sync(self):
+        arrivals = make_arrivals()
+        reference = make_controller().run(arrivals, 3)
+        service = SchedulingService(
+            make_controller(), arrivals, ServiceConfig(n_epochs=3, n_workers=0)
+        )
+        report = asyncio.run(service.run())
+        assert report.reports == reference
+        assert report.drained
+        assert not report.stopped_early
+        assert report.abandoned_batches == 0
+
+    def test_shards_stages_across_warm_workers(self):
+        service = SchedulingService(
+            make_controller(),
+            make_arrivals(),
+            ServiceConfig(n_epochs=3, n_workers=2),
+        )
+        report = asyncio.run(service.run())
+        assert len(report.worker_pids) == 2
+        for outcome in report.outcomes:
+            # 2 scheduler arms + 1 backup stage, all successful.
+            assert len(outcome.arms) == 3
+            assert outcome.stage_failures == 0
+            assert set(outcome.shard_pids) <= set(report.worker_pids)
+        # At least one epoch demonstrably used >= 2 distinct worker processes.
+        assert any(len(o.shard_pids) >= 2 for o in report.outcomes)
+        arm_names = {arm["arm"] for arm in report.outcomes[0].arms}
+        assert arm_names == {"eclipse", "tdm", "backup:solstice"}
+
+    def test_no_workers_disables_sharding(self):
+        service = SchedulingService(
+            make_controller(),
+            make_arrivals(),
+            ServiceConfig(n_epochs=2, n_workers=0),
+        )
+        report = asyncio.run(service.run())
+        assert report.worker_pids == ()
+        assert all(o.arms == () for o in report.outcomes)
+
+    def test_publishes_service_metrics(self):
+        registry = obs.MetricsRegistry()
+        with obs.observability(metrics=registry):
+            service = SchedulingService(
+                make_controller(),
+                make_arrivals(),
+                ServiceConfig(n_epochs=2, n_workers=0),
+            )
+            asyncio.run(service.run())
+        snapshot = registry.snapshot()
+        assert snapshot["service_epochs_total"]["values"][0]["value"] == 2
+        latency = snapshot["service_epoch_latency"]["values"][0]
+        assert latency["count"] == 2
+        assert snapshot["service_backlog_mb"]["type"] == "gauge"
+
+    def test_heartbeat_written_next_to_journal(self, tmp_path):
+        journal = RunJournal(tmp_path / "service.jsonl")
+        service = SchedulingService(
+            make_controller(journal=journal),
+            make_arrivals(),
+            ServiceConfig(n_epochs=2, n_workers=0),
+        )
+        asyncio.run(service.run())
+        beats = read_heartbeats(heartbeat_dir(journal.path))
+        assert "service" in beats
+        beat = beats["service"]
+        assert beat["phase"] == "running"
+        # The monotonic liveness contract holds for the service beat too.
+        assert isinstance(beat["last_progress_mono"], float)
+        assert isinstance(beat["started_at_mono"], float)
+
+    def test_epoch_clock_fires_on_monotonic_grid(self):
+        naps = []
+        frozen_mono = lambda: 0.0  # noqa: E731
+
+        async def fake_sleep(seconds):
+            naps.append(seconds)
+
+        service = SchedulingService(
+            make_controller(),
+            make_arrivals(),
+            ServiceConfig(
+                n_epochs=3,
+                n_workers=0,
+                epoch_interval_s=1.0,
+                mono_clock=frozen_mono,
+                async_sleep=fake_sleep,
+            ),
+        )
+        asyncio.run(service.run())
+        # Epoch 0 fires immediately; epochs 1 and 2 wait out the grid.
+        assert naps == pytest.approx([1.0, 2.0])
+
+    def test_epoch_overrun_counts_as_slo_violation(self):
+        service = SchedulingService(
+            make_controller(),
+            make_arrivals(),
+            ServiceConfig(n_epochs=2, n_workers=0, epoch_interval_s=1e-9),
+        )
+        report = asyncio.run(service.run())
+        assert report.slo_violations == 2
+        assert all(o.slo_violation for o in report.outcomes)
+
+
+class TestSoak:
+    def test_sustained_overload_sheds_with_balanced_ledger(self):
+        # Every epoch misses its (tick-clock) scheduling deadline, arming
+        # backpressure; arrivals far outrun the 1 ms epochs, so overflow
+        # must land in the shed ledger — and the service's final
+        # conservation audit must still balance to the byte.
+        controller = make_controller(
+            epoch_duration=1.0,
+            deadline_s=0.5,
+            deadline_clock=TickClock(step=10.0),
+            max_backlog=20.0,
+            overflow_policy="shed",
+            backpressure_after_misses=1,
+        )
+        service = SchedulingService(
+            controller,
+            make_arrivals(intensity=4.0),
+            ServiceConfig(n_epochs=6, n_workers=0),
+        )
+        report = asyncio.run(service.run())
+        assert report.n_epochs == 6
+        assert all(o.report.deadline_hit for o in report.outcomes)
+        assert report.shed_mb > 0.0
+        assert report.slo_violations == 6
+        # _finalize already ran check_conservation(); re-assert explicitly
+        # that the books balance after the run.
+        controller.check_conservation()
+
+    def test_park_policy_keeps_overflow_on_the_books(self):
+        controller = make_controller(
+            epoch_duration=1.0,
+            deadline_s=0.5,
+            deadline_clock=TickClock(step=10.0),
+            max_backlog=20.0,
+            overflow_policy="park",
+            backpressure_after_misses=1,
+        )
+        service = SchedulingService(
+            controller,
+            make_arrivals(intensity=4.0),
+            ServiceConfig(n_epochs=5, n_workers=0),
+        )
+        report = asyncio.run(service.run())
+        assert report.shed_mb == 0.0
+        assert report.parked_mb > 0.0
+        controller.check_conservation()
+
+    def test_stop_mid_run_drains_and_balances(self):
+        arrivals = make_arrivals()
+        holder: "list[SchedulingService]" = []
+
+        def stopping_arrivals(epoch):
+            if epoch == 2:
+                holder[0].request_stop()
+            return arrivals(epoch)
+
+        service = SchedulingService(
+            make_controller(),
+            stopping_arrivals,
+            ServiceConfig(n_epochs=10, n_workers=0),
+        )
+        holder.append(service)
+        report = asyncio.run(service.run())
+        assert report.stopped_early
+        assert report.drained
+        # Ingestion stopped at the boundary; everything offered was served
+        # through the normal epoch path, nothing abandoned.
+        assert report.abandoned_batches == 0
+        assert 1 <= report.n_epochs < 10
+        service.controller.check_conservation()
+
+    def test_no_drain_stop_counts_abandoned_batches(self):
+        arrivals = make_arrivals()
+        holder: "list[SchedulingService]" = []
+
+        def stopping_arrivals(epoch):
+            if epoch == 3:
+                holder[0].request_stop()
+            return arrivals(epoch)
+
+        service = SchedulingService(
+            make_controller(),
+            stopping_arrivals,
+            ServiceConfig(n_epochs=10, n_workers=0, queue_depth=8, drain=False),
+        )
+        holder.append(service)
+        report = asyncio.run(service.run())
+        assert report.stopped_early
+        assert not report.drained
+        # Batches left in the queue are counted, never silently dropped.
+        assert report.n_epochs + report.abandoned_batches <= 4
+        service.controller.check_conservation()
+
+    def test_worker_death_retries_epoch_stage(self, tmp_path, monkeypatch):
+        def dying_stage_tasks(self, demand, epoch):
+            return [
+                StageTask(
+                    name=f"die:{epoch}",
+                    fn=_DIE_ONCE,
+                    kwargs={"marker": str(tmp_path / f"epoch{epoch}.marker")},
+                )
+            ]
+
+        monkeypatch.setattr(SchedulingService, "_stage_tasks", dying_stage_tasks)
+        service = SchedulingService(
+            make_controller(),
+            make_arrivals(),
+            ServiceConfig(n_epochs=2, n_workers=2),
+        )
+        report = asyncio.run(service.run())
+        assert report.n_epochs == 2
+        assert report.worker_deaths == 2  # one death per epoch's first attempt
+        assert report.stage_retries == 2
+        for outcome in report.outcomes:
+            assert outcome.stage_failures == 0  # the retry succeeded
+            (payload,) = outcome.arms
+            assert payload["recovered"] is True
+
+
+def test_service_report_defaults():
+    report = ServiceReport()
+    assert report.n_epochs == 0
+    assert report.reports == []
+    assert report.drained

@@ -1,0 +1,535 @@
+#!/usr/bin/env python
+"""CI smoke for the live telemetry plane: scrapeable /metrics that parse
+as strict OpenMetrics, a flight recorder that dumps exactly one incident
+bundle per trigger kind, and bit-identical results with telemetry off.
+
+Scenario (the acceptance criteria of the live-telemetry work):
+
+1. one asyncio service run (radix 16, two warm workers, fast-reroute
+   armed, tick-clock deadline budget) is scripted per epoch: epoch 1
+   delivers the covering workload under a total composite-port outage
+   (one mid-epoch reroute swap), epoch 2 injects a stage whose worker
+   dies once (crash + respawn + retry), epoch 3 steps the tick clock past
+   the deadline budget (deep fallback >= L2 *and* an SLO miss).  The
+   flight recorder must dump exactly four bundles — one per trigger kind
+   — and every bundle must render through ``repro obs incidents``;
+2. /metrics is scraped twice mid-run — from inside the epoch hook, so the
+   scrapes deterministically bracket published epochs — and strict-parsed:
+   every sample must belong to a ``# TYPE``-declared family, every
+   histogram's ``+Inf`` bucket must equal its ``_count``, cumulative
+   buckets must never decrease, and ``service_epoch_latency`` must
+   advance between the scrapes.  /healthz must answer 200 on the fresh
+   heartbeat and /status must carry the epoch/burn-rate/worker state,
+   with the epoch-3 SLO miss burning the 1m window;
+3. ``run_sync`` with the whole telemetry plane on (HTTP server + flight
+   recorder) must be bit-identical to the same run with it off;
+4. on any failure, the scrapes, status payloads, and incident bundles in
+   ``--workdir`` become the uploaded CI artifact.
+
+Exit code 0 = pass.  Used by CI (see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import io
+import json
+import re
+import sys
+import tempfile
+import urllib.request
+from dataclasses import asdict
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))  # the crash stage lives in tests/
+
+import numpy as np  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.analysis.controller import EpochController  # noqa: E402
+from repro.cli import main as repro_cli  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+from repro.hybrid.solstice import SolsticeScheduler  # noqa: E402
+from repro.obs.incidents import (  # noqa: E402
+    TRIGGER_CRASH,
+    TRIGGER_FALLBACK,
+    TRIGGER_KINDS,
+    TRIGGER_REROUTE,
+    TRIGGER_SLO,
+    load_incident,
+)
+from repro.runner.pool import StageTask  # noqa: E402
+from repro.service import SchedulingService, ServiceConfig, TickClock  # noqa: E402
+from repro.switch.params import fast_ocs_params  # noqa: E402
+from repro.workloads.arrivals import WorkloadArrivals  # noqa: E402
+from repro.workloads.skewed import SkewedWorkload  # noqa: E402
+
+N = 16
+N_EPOCHS = 5
+REROUTE_EPOCH, CRASH_EPOCH, FALLBACK_EPOCH = 1, 2, 3
+DEADLINE_TICKS = 2.5
+# One tick past the budget exhausts it at the first checkpoint, and every
+# further clock read overdrafts the cheaper rungs too, so the ladder walks
+# deterministically to a deep fallback (>= L2, the incident trigger
+# threshold — see repro/service/deadline.py and obs/incidents.py).
+MISS_STEP = 3.0
+_DIE_ONCE = "tests._runner_trials:die_once_stage"
+
+
+def covering_demand() -> np.ndarray:
+    """See tests/test_reroute.py — the validated covering workload."""
+    demand = np.zeros((N, N))
+    demand[0, 1:9] = 1.0
+    demand[9:14, 1:9] = 1.0
+    demand[14, 15] = 40.0
+    return demand
+
+
+class ScriptedArrivals:
+    """A base arrival process with per-epoch demand overrides.
+
+    Overriding ``process(e)`` keeps the scripted epochs safe under the
+    service's pre-drawing ingestion queue: the demand is a pure function
+    of the epoch number, never of when the queue drew it.
+    """
+
+    def __init__(self, base, overrides: "dict[int, np.ndarray]"):
+        self.base = base
+        self.overrides = overrides
+
+    def __call__(self, epoch: int) -> np.ndarray:
+        if epoch in self.overrides:
+            return self.overrides[epoch].copy()
+        return self.base(epoch)
+
+
+def make_arrivals(seed: int = 7, intensity: float = 0.5) -> WorkloadArrivals:
+    return WorkloadArrivals(
+        SkewedWorkload(), n_ports=N, seed=seed, intensity=intensity
+    )
+
+
+def scrape(port: int, path: str) -> "tuple[int, str, str]":
+    url = f"http://127.0.0.1:{port}{path}"
+    request = urllib.request.Request(url)
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return (
+                response.status,
+                response.read().decode("utf-8"),
+                response.headers.get("Content-Type", ""),
+            )
+    except urllib.error.HTTPError as err:  # 503 still carries a payload
+        return err.code, err.read().decode("utf-8"), err.headers.get("Content-Type", "")
+
+
+# --------------------------------------------------------------------- #
+# strict OpenMetrics parsing
+# --------------------------------------------------------------------- #
+
+_SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (.+)$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_openmetrics_strict(text: str) -> "tuple[dict, list[str]]":
+    """Parse one exposition; returns (families, problems).
+
+    ``families`` maps family name to ``{"type": kind, "samples":
+    [(suffix, labels_dict, value), ...]}``.  ``problems`` collects every
+    strictness violation: undeclared sample families, unparseable lines,
+    duplicate TYPE lines, non-monotone histogram buckets, and any
+    histogram series whose ``+Inf`` bucket disagrees with its ``_count``.
+    """
+    problems: "list[str]" = []
+    if not text.endswith("# EOF\n"):
+        problems.append("exposition does not end with '# EOF'")
+    families: "dict[str, dict]" = {}
+    for line in text.splitlines():
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                problems.append(f"malformed TYPE line: {line!r}")
+                continue
+            _, _, name, kind = parts
+            if name in families:
+                problems.append(f"duplicate TYPE declaration for {name}")
+            families[name] = {"type": kind, "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # HELP
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"unparseable sample line: {line!r}")
+            continue
+        sample_name, labels_str, value_str = match.groups()
+        family, suffix = sample_name, ""
+        if family not in families:
+            for candidate in _HIST_SUFFIXES:
+                base = sample_name[: -len(candidate)]
+                if (
+                    sample_name.endswith(candidate)
+                    and families.get(base, {}).get("type") == "histogram"
+                ):
+                    family, suffix = base, candidate
+                    break
+        if family not in families:
+            problems.append(f"sample {sample_name} has no # TYPE declaration")
+            continue
+        if families[family]["type"] == "histogram" and not suffix:
+            problems.append(f"bare sample {sample_name} on histogram family")
+            continue
+        try:
+            value = float(value_str.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            problems.append(f"non-numeric value on {sample_name}: {value_str!r}")
+            continue
+        labels = dict(_LABEL_RE.findall(labels_str or ""))
+        families[family]["samples"].append((suffix, labels, value))
+
+    for name, payload in families.items():
+        if payload["type"] != "histogram":
+            continue
+        problems.extend(_check_histogram(name, payload["samples"]))
+    return families, problems
+
+
+def _check_histogram(name: str, samples: list) -> "list[str]":
+    """Cumulative le-buckets monotone, +Inf bucket == _count, _sum present."""
+    problems: "list[str]" = []
+    series: "dict[tuple, dict]" = {}
+    for suffix, labels, value in samples:
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        entry = series.setdefault(key, {"buckets": [], "count": None, "sum": None})
+        if suffix == "_bucket":
+            le = labels.get("le")
+            if le is None:
+                problems.append(f"{name}_bucket sample without an le label")
+                continue
+            entry["buckets"].append((float(le.replace("+Inf", "inf")), value))
+        elif suffix == "_count":
+            entry["count"] = value
+        elif suffix == "_sum":
+            entry["sum"] = value
+    for key, entry in series.items():
+        where = f"{name}{dict(key) or ''}"
+        buckets = sorted(entry["buckets"])
+        if not buckets or not np.isinf(buckets[-1][0]):
+            problems.append(f"{where}: no +Inf bucket")
+            continue
+        values = [value for _, value in buckets]
+        if any(b > a for b, a in zip(values, values[1:])):
+            problems.append(f"{where}: cumulative buckets decrease: {values}")
+        if entry["count"] is None or entry["sum"] is None:
+            problems.append(f"{where}: missing _count or _sum")
+        elif values[-1] != entry["count"]:
+            problems.append(
+                f"{where}: +Inf bucket {values[-1]} != _count {entry['count']}"
+            )
+    return problems
+
+
+def histogram_count(families: dict, name: str) -> float:
+    payload = families.get(name, {"samples": []})
+    return sum(value for suffix, _, value in payload["samples"] if suffix == "_count")
+
+
+def render_cli(argv: "list[str]") -> "tuple[int, str]":
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = repro_cli(argv)
+    return code, buffer.getvalue()
+
+
+# --------------------------------------------------------------------- #
+# the scripted service run
+# --------------------------------------------------------------------- #
+
+
+def run_scripted(workdir: Path) -> "tuple":
+    """One asyncio run firing all four trigger kinds + mid-run scrapes."""
+    clock = TickClock(0.0)
+    controller = EpochController(
+        fast_ocs_params(N),
+        SolsticeScheduler(),
+        use_composite_paths=True,
+        fast_reroute=True,
+        deadline_s=DEADLINE_TICKS,
+        deadline_clock=clock,
+    )
+    arrivals = ScriptedArrivals(
+        make_arrivals(), {REROUTE_EPOCH: covering_demand()}
+    )
+    service = SchedulingService(
+        controller,
+        arrivals,
+        ServiceConfig(
+            n_epochs=N_EPOCHS,
+            n_workers=2,
+            telemetry_port=0,
+            incidents_dir=workdir / "incidents",
+        ),
+    )
+
+    scrapes: "dict[str, tuple]" = {}
+    inner_run_epoch = controller.run_epoch
+
+    def scripted_run_epoch(epoch: int = 0):
+        # run_epoch enters strictly after epoch-1 epochs were published,
+        # so scrapes taken here bracket a deterministic number of
+        # observations regardless of runner speed.
+        controller.fault_plan = (
+            FaultPlan(seed=11, o2m_outage_rate=1.0, m2o_outage_rate=1.0)
+            if epoch == REROUTE_EPOCH
+            else None
+        )
+        clock.step = MISS_STEP if epoch == FALLBACK_EPOCH else 0.0
+        port = service.telemetry.port
+        if epoch == 1:
+            scrapes["metrics_first"] = scrape(port, "/metrics")
+        if epoch == N_EPOCHS - 1:
+            scrapes["metrics_second"] = scrape(port, "/metrics")
+            scrapes["healthz"] = scrape(port, "/healthz")
+            scrapes["status"] = scrape(port, "/status")
+        return inner_run_epoch(epoch)
+
+    controller.run_epoch = scripted_run_epoch
+
+    inner_stage_tasks = service._stage_tasks
+
+    def scripted_stage_tasks(demand: np.ndarray, epoch: int):
+        tasks = inner_stage_tasks(demand, epoch)
+        if epoch == CRASH_EPOCH:
+            tasks.append(
+                StageTask(
+                    name=f"die:{epoch}",
+                    fn=_DIE_ONCE,
+                    kwargs={"marker": str(workdir / "die.marker")},
+                )
+            )
+        return tasks
+
+    service._stage_tasks = scripted_stage_tasks
+
+    tracer, registry = obs.JsonlTracer(), obs.MetricsRegistry()
+    with obs.observability(tracer=tracer, metrics=registry):
+        report = asyncio.run(service.run())
+    return report, scrapes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workdir", default=None, help="artifact directory (default: mkdtemp)"
+    )
+    args = parser.parse_args(argv)
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="live-telemetry-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    failures: "list[str]" = []
+
+    def check(ok: bool, ok_msg: str, fail_msg: str) -> bool:
+        if ok:
+            print(f"ok: {ok_msg}")
+        else:
+            failures.append(f"FAIL: {fail_msg}")
+        return ok
+
+    # -- 1. the scripted run: four trigger kinds, scrapes mid-run ---------- #
+    report, scrapes = run_scripted(workdir)
+    for name, payload in scrapes.items():
+        suffix = "txt" if name.startswith("metrics") else "json"
+        (workdir / f"{name}.{suffix}").write_text(payload[1])
+    check(
+        report.drained and report.n_epochs == N_EPOCHS,
+        f"scripted run drained after {report.n_epochs} epochs",
+        f"scripted run did not drain (n_epochs={report.n_epochs}, "
+        f"drained={report.drained})",
+    )
+    check(
+        report.slo_violations == 1,
+        "exactly the tick-stepped epoch missed its SLO",
+        f"expected 1 SLO violation, got {report.slo_violations}",
+    )
+
+    bundles = [Path(p) for p in report.incident_bundles]
+    by_kind = {
+        kind: [p for p in bundles if kind in p.name] for kind in TRIGGER_KINDS
+    }
+    check(
+        len(bundles) == 4 and all(len(v) == 1 for v in by_kind.values()),
+        "flight recorder dumped exactly one bundle per trigger kind",
+        f"expected one bundle per kind {list(TRIGGER_KINDS)}, got "
+        f"{[p.name for p in bundles]}",
+    )
+
+    expectations = {
+        TRIGGER_REROUTE: REROUTE_EPOCH,
+        TRIGGER_CRASH: CRASH_EPOCH,
+        TRIGGER_FALLBACK: FALLBACK_EPOCH,
+        TRIGGER_SLO: FALLBACK_EPOCH,
+    }
+    for kind, epoch in expectations.items():
+        if not by_kind.get(kind):
+            continue
+        bundle = load_incident(by_kind[kind][0])
+        frame = bundle["frames"][-1]
+        ok = bundle["trigger"] == kind and bundle["epoch"] == epoch
+        detail = ""
+        if kind == TRIGGER_REROUTE:
+            ok = ok and frame["report"]["reroute_swaps"] >= 1
+            detail = f"{frame['report']['reroute_swaps']} swap(s)"
+        elif kind == TRIGGER_CRASH:
+            deaths = frame["worker_deaths"]
+            ok = ok and len(deaths) == 1 and deaths[0]["reason"] == "crashed"
+            detail = f"pid {deaths[0]['pid']} buried" if deaths else "no deaths"
+        elif kind == TRIGGER_FALLBACK:
+            ok = ok and frame["report"]["fallback_level"] >= 2
+            detail = f"L{frame['report']['fallback_level']}"
+        elif kind == TRIGGER_SLO:
+            ok = (
+                ok
+                and frame["outcome"]["slo_violation"]
+                and "schedule_deadline" in frame["outcome"]["slo_reasons"]
+            )
+            detail = ",".join(frame["outcome"]["slo_reasons"])
+        check(
+            ok,
+            f"{kind} bundle pins epoch {epoch} ({detail})",
+            f"{kind} bundle wrong: trigger={bundle['trigger']} "
+            f"epoch={bundle['epoch']} ({detail})",
+        )
+
+    # -- 2. every bundle renders through `repro obs incidents` ------------- #
+    code, listing = render_cli(["obs", "incidents", str(workdir / "incidents")])
+    check(
+        code == 0 and all(p.name in listing for p in bundles),
+        f"incident listing renders all {len(bundles)} bundles",
+        f"listing exit={code}; missing bundles in output",
+    )
+    rendered_ok = True
+    for path in bundles:
+        code, text = render_cli(["obs", "incidents", str(path)])
+        kind = next(k for k in TRIGGER_KINDS if k in path.name)
+        if code != 0 or f"incident: {kind}" not in text:
+            rendered_ok = False
+            failures.append(
+                f"FAIL: bundle {path.name} did not render (exit={code})"
+            )
+    if rendered_ok:
+        print(f"ok: all {len(bundles)} bundles render individually")
+
+    # -- 3. strict OpenMetrics on both scrapes, advancing histogram -------- #
+    counts = {}
+    for which in ("metrics_first", "metrics_second"):
+        status_code, text, content_type = scrapes.get(which, (0, "", ""))
+        families, problems = parse_openmetrics_strict(text)
+        check(
+            status_code == 200
+            and content_type.startswith("application/openmetrics-text")
+            and not problems,
+            f"/metrics scrape '{which}' is strict OpenMetrics "
+            f"({len(families)} families)",
+            f"scrape '{which}' invalid (http {status_code}): "
+            + "; ".join(problems[:5]),
+        )
+        counts[which] = histogram_count(families, "service_epoch_latency")
+        check(
+            families.get("service_epoch_latency", {}).get("type") == "histogram"
+            and families.get("service_slo_burn_rate", {}).get("type") == "gauge",
+            f"'{which}' exposes service_epoch_latency + burn-rate gauges",
+            f"'{which}' missing service families: {sorted(families)}",
+        )
+    check(
+        counts.get("metrics_first") == 1.0
+        and counts.get("metrics_second") == float(N_EPOCHS - 1),
+        f"service_epoch_latency advanced {counts.get('metrics_first'):.0f} -> "
+        f"{counts.get('metrics_second'):.0f} between scrapes",
+        f"epoch latency count did not advance as published: {counts}",
+    )
+
+    # -- 4. /healthz fresh, /status carries the live state ----------------- #
+    health_code, health_text, _ = scrapes.get("healthz", (0, "{}", ""))
+    health = json.loads(health_text)
+    check(
+        health_code == 200 and health.get("status") == "ok",
+        "mid-run /healthz is 200 ok on the fresh heartbeat",
+        f"healthz http {health_code}: {health}",
+    )
+    status = json.loads(scrapes.get("status", (0, "{}", ""))[1])
+    workers = status.get("workers") or {}
+    incidents = status.get("incidents") or {}
+    check(
+        status.get("epochs_done") == N_EPOCHS - 1
+        and status.get("draining") is False
+        and workers.get("alive") == 2
+        and workers.get("deaths") == 1
+        and incidents.get("bundles_written") == 4,
+        "mid-run /status reports epochs, the buried worker, and 4 bundles",
+        f"status payload wrong: {status}",
+    )
+    burn = status.get("slo_burn_rate", {})
+    check(
+        burn.get("1m", 0.0) > 0.0,
+        f"the SLO miss burns the 1m window ({burn.get('1m', 0.0):.0%})",
+        f"1m burn rate did not move after the SLO miss: {burn}",
+    )
+
+    # -- 5. telemetry on == telemetry off, bit-identically ------------------ #
+    def run_identity(telemetry: bool):
+        service = SchedulingService(
+            EpochController(
+                fast_ocs_params(N), SolsticeScheduler(), use_composite_paths=True
+            ),
+            make_arrivals(seed=13),
+            ServiceConfig(
+                n_epochs=4,
+                n_workers=0,
+                telemetry_port=0 if telemetry else None,
+                incidents_dir=(workdir / "identity-incidents") if telemetry else None,
+            ),
+        )
+        return service.run_sync()
+
+    plain, live = run_identity(False), run_identity(True)
+    check(
+        [asdict(r) for r in live.reports] == [asdict(r) for r in plain.reports],
+        "run with the full telemetry plane on is bit-identical to plane off",
+        "telemetry-on run diverged from the untelemetered run",
+    )
+
+    if failures:
+        for message in failures:
+            print(message, file=sys.stderr)
+        (workdir / "live_telemetry_summary.json").write_text(
+            json.dumps(
+                {
+                    "failures": failures,
+                    "bundles": [p.name for p in bundles],
+                    "slo_violations": report.slo_violations,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"diagnostics written to {workdir}", file=sys.stderr)
+        return 1
+
+    print(
+        f"live telemetry smoke OK: {len(bundles)} incident bundles (one per "
+        f"trigger kind) all render, /metrics strict-parsed with "
+        f"service_epoch_latency {counts['metrics_first']:.0f} -> "
+        f"{counts['metrics_second']:.0f}, 1m burn {burn['1m']:.0%}, "
+        f"telemetry-off runs bit-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import contextlib
 import math
 import sys
 from pathlib import Path
@@ -632,24 +633,38 @@ def cmd_serve(args) -> int:
         arms=arms,
         shard_backups=use_cp and not args.no_backups,
         drain=not args.no_drain,
+        telemetry_port=args.telemetry_port,
+        telemetry_host=args.telemetry_host,
+        incidents_dir=args.incidents_dir,
+        recorder_epochs=args.recorder_epochs,
     )
     service = SchedulingService(controller, arrivals, config)
-    if args.sync:
-        report = service.run_sync()
+    # A scrape endpoint over the null registry would serve an empty page;
+    # --telemetry-port implies live backends for the run unless --trace /
+    # --metrics (main()) already installed some.
+    if args.telemetry_port is not None and not obs.active():
+        live_backends = obs.observability(
+            tracer=obs.JsonlTracer(), metrics=obs.MetricsRegistry()
+        )
     else:
+        live_backends = contextlib.nullcontext()
+    with live_backends:
+        if args.sync:
+            report = service.run_sync()
+        else:
 
-        async def _serve():
-            loop = asyncio.get_running_loop()
-            for signum in (signal.SIGINT, signal.SIGTERM):
-                # Drain, then exit cleanly — a deploy rollout must never
-                # strand queued demand.
-                try:
-                    loop.add_signal_handler(signum, service.request_stop)
-                except (NotImplementedError, RuntimeError):
-                    pass
-            return await service.run()
+            async def _serve():
+                loop = asyncio.get_running_loop()
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    # Drain, then exit cleanly — a deploy rollout must never
+                    # strand queued demand.
+                    try:
+                        loop.add_signal_handler(signum, service.request_stop)
+                    except (NotImplementedError, RuntimeError):
+                        pass
+                return await service.run()
 
-        report = asyncio.run(_serve())
+            report = asyncio.run(_serve())
 
     rows = [
         [
@@ -697,6 +712,13 @@ def cmd_serve(args) -> int:
         + ("" if report.drained else "; stopped WITHOUT draining"),
         file=sys.stderr,
     )
+    if report.incident_bundles:
+        print(
+            f"serve: flight recorder dumped {len(report.incident_bundles)} "
+            f"incident bundle(s) — inspect with `python -m repro obs incidents "
+            f"{Path(report.incident_bundles[0]).parent}`",
+            file=sys.stderr,
+        )
     if report.stopped_early:
         print("serve: stopped early on request (drained queued epochs)", file=sys.stderr)
     return 0
@@ -751,6 +773,27 @@ def cmd_obs_watch(args) -> int:
         raise SystemExit(f"obs watch: {exc}") from None
     except KeyboardInterrupt:
         return 130
+    return 0
+
+
+def cmd_obs_incidents(args) -> int:
+    from repro.obs.incidents import (
+        load_incident,
+        render_incident,
+        render_incident_listing,
+    )
+
+    path = Path(args.path)
+    if not path.exists():
+        raise SystemExit(f"obs incidents: {path} does not exist")
+    if path.is_dir():
+        print(render_incident_listing(path))
+        return 0
+    try:
+        bundle = load_incident(path)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"obs incidents: {exc}") from None
+    print(render_incident(bundle, top=args.top, max_depth=args.depth))
     return 0
 
 
@@ -1095,6 +1138,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-drain", action="store_true", help="on stop, abandon queued batches instead of draining")
     serve.add_argument("--sync", action="store_true", help="synchronous driver (bit-identical to the controller loop)")
     serve.add_argument("--journal", metavar="PATH", help="append per-epoch records to this journal")
+    telemetry = serve.add_argument_group("live telemetry")
+    telemetry.add_argument(
+        "--telemetry-port", type=int, metavar="PORT",
+        help="expose GET /metrics, /healthz, /status on this port while "
+        "serving (0 binds an ephemeral port; default: off)",
+    )
+    telemetry.add_argument(
+        "--telemetry-host", default="127.0.0.1", metavar="HOST",
+        help="bind address for the telemetry server (default: 127.0.0.1)",
+    )
+    telemetry.add_argument(
+        "--incidents-dir", metavar="DIR",
+        help="flight-recorder bundle directory (default: <run dir>/incidents "
+        "when telemetry is on)",
+    )
+    telemetry.add_argument(
+        "--recorder-epochs", type=int, default=8, metavar="N",
+        help="flight-recorder ring size: epochs of context per incident "
+        "bundle (default: 8)",
+    )
     _add_obs_args(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -1135,7 +1198,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     watch = obs_sub.add_parser(
         "watch",
-        help="tail a sweep journal + heartbeats: progress, ETA, stragglers",
+        help="tail a sweep journal + heartbeats: progress, ETA, stragglers "
+        "(a service journal renders as a live service row)",
     )
     watch.add_argument("journal", help="sweep journal (heartbeats in <journal>.hb/)")
     watch.add_argument(
@@ -1151,6 +1215,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="refresh interval with --follow (default: 2)",
     )
     watch.set_defaults(func=cmd_obs_watch)
+
+    incidents = obs_sub.add_parser(
+        "incidents",
+        help="list a flight-recorder incident directory, or render one bundle "
+        "(epoch window, span tree, counters)",
+    )
+    incidents.add_argument(
+        "path", help="an incident bundle JSON, or the incidents/ directory"
+    )
+    incidents.add_argument(
+        "--top", type=int, default=10, help="counters to show (default: 10)"
+    )
+    incidents.add_argument(
+        "--depth", type=int, default=None, help="maximum span-tree depth (default: unlimited)"
+    )
+    incidents.set_defaults(func=cmd_obs_incidents)
 
     export = obs_sub.add_parser(
         "export",

@@ -75,6 +75,14 @@ def render_openmetrics(snapshot: dict) -> str:
                 bounds = list(entry.get("buckets", []))
                 counts = list(entry.get("bucket_counts", []))
                 total = int(entry.get("count", 0))
+                # Registries whose declared bounds already end at math.inf
+                # must not get a finite-loop +Inf sample *and* the explicit
+                # one below — the series would appear twice (invalid
+                # exposition).  Emitting +Inf exclusively from ``count``
+                # also keeps the +Inf == _count invariant when the overflow
+                # slot holds folded foreign-layout observations.
+                if bounds and math.isinf(bounds[-1]):
+                    bounds = bounds[:-1]
                 cumulative = 0
                 for bound, bucket_count in zip(bounds, counts):
                     cumulative += int(bucket_count)

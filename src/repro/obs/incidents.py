@@ -1,0 +1,283 @@
+"""Flight recorder: bounded epoch history + auto-dumped incident bundles.
+
+A long-running scheduling service fails in ways a post-mortem trace dump
+cannot explain: by the time the process exits, the epochs surrounding a
+worker crash or a fallback-ladder dive are millions of spans in the past.
+The :class:`FlightRecorder` keeps a bounded ring of the last N epochs —
+each frame holds the epoch's :class:`~repro.analysis.controller.EpochReport`
+(as a dict), a small outcome summary, the trace records closed during that
+epoch (including absorbed per-worker blobs), and any structured worker
+death records — and, when a trigger fires, atomically dumps an *incident
+bundle* (window + metrics snapshot) to ``<incidents_dir>/``.
+
+Trigger kinds (one bundle per kind per epoch):
+
+==========================  ============================================
+:data:`TRIGGER_SLO`         the epoch was counted as an SLO violation
+:data:`TRIGGER_FALLBACK`    anytime fallback level >= the threshold
+                            (default L2 — warm reuse or worse)
+:data:`TRIGGER_CRASH`       a pool worker died/was respawned this epoch
+:data:`TRIGGER_REROUTE`     a mid-epoch fast-reroute swap executed
+==========================  ============================================
+
+``python -m repro obs incidents <path>`` lists a bundle directory or
+renders one bundle — reusing the ``summarize`` span-tree/counter
+renderers, so an incident reads exactly like a trace summary focused on
+the epochs that mattered.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.summarize import TraceData, render_counters, render_span_tree
+from repro.utils.fileio import atomic_write_json
+
+#: Version of the incident bundle envelope.
+INCIDENT_FORMAT: int = 1
+
+TRIGGER_SLO = "slo_violation"
+TRIGGER_FALLBACK = "fallback"
+TRIGGER_CRASH = "worker_crash"
+TRIGGER_REROUTE = "reroute_swap"
+
+#: Every trigger kind a recorder can fire, in severity order.
+TRIGGER_KINDS: "tuple[str, ...]" = (
+    TRIGGER_CRASH,
+    TRIGGER_FALLBACK,
+    TRIGGER_SLO,
+    TRIGGER_REROUTE,
+)
+
+#: Fallback levels at or above this dump an incident.  Mirrors
+#: :data:`repro.service.deadline.FALLBACK_WARM_REUSE` (kept as a literal so
+#: the obs layer does not import the service package).
+FALLBACK_TRIGGER_LEVEL: int = 2
+
+
+@dataclass
+class EpochFrame:
+    """One epoch's worth of flight-recorder history."""
+
+    epoch: int
+    report: dict
+    outcome: dict = field(default_factory=dict)
+    records: "list[dict]" = field(default_factory=list)
+    worker_deaths: "list[dict]" = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "report": self.report,
+            "outcome": self.outcome,
+            "records": self.records,
+            "worker_deaths": self.worker_deaths,
+        }
+
+
+def _frame_triggers(frame: EpochFrame, fallback_level: int) -> "list[tuple[str, str]]":
+    """The (kind, reason) triggers one epoch frame fires."""
+    triggers: "list[tuple[str, str]]" = []
+    if frame.worker_deaths:
+        pids = sorted({d.get("pid") for d in frame.worker_deaths if d.get("pid")})
+        triggers.append(
+            (TRIGGER_CRASH, f"{len(frame.worker_deaths)} worker death(s), pids {pids}")
+        )
+    level = int(frame.report.get("fallback_level", 0) or 0)
+    if level >= fallback_level:
+        triggers.append((TRIGGER_FALLBACK, f"anytime fallback level L{level}"))
+    if frame.outcome.get("slo_violation"):
+        reasons = frame.outcome.get("slo_reasons") or []
+        triggers.append(
+            (TRIGGER_SLO, "SLO violation" + (f" ({', '.join(reasons)})" if reasons else ""))
+        )
+    swaps = int(frame.report.get("reroute_swaps", 0) or 0)
+    if swaps:
+        triggers.append((TRIGGER_REROUTE, f"{swaps} mid-epoch reroute swap(s)"))
+    return triggers
+
+
+class FlightRecorder:
+    """Bounded ring of epoch frames with trigger-fired incident dumps.
+
+    Parameters
+    ----------
+    incidents_dir:
+        Where bundles land (created on first dump).  ``None`` keeps the
+        ring in memory only — triggers are still detected and counted,
+        nothing is written.
+    window_epochs:
+        Ring capacity: how many epochs of context a bundle carries.
+    fallback_level:
+        Minimum anytime fallback level that fires :data:`TRIGGER_FALLBACK`.
+    max_incidents:
+        Stop dumping after this many bundles (a flapping service must not
+        fill the disk); detection keeps counting.
+    """
+
+    def __init__(
+        self,
+        incidents_dir: "str | Path | None" = None,
+        *,
+        window_epochs: int = 8,
+        fallback_level: int = FALLBACK_TRIGGER_LEVEL,
+        max_incidents: int = 64,
+    ) -> None:
+        if window_epochs < 1:
+            raise ValueError(f"window_epochs must be >= 1, got {window_epochs}")
+        self.incidents_dir = Path(incidents_dir) if incidents_dir is not None else None
+        self.fallback_level = fallback_level
+        self.max_incidents = max_incidents
+        self._frames: "deque[EpochFrame]" = deque(maxlen=window_epochs)
+        self._seq = 0
+        self.triggered: "dict[str, int]" = {}
+        self.bundles_written: "list[Path]" = []
+
+    @property
+    def frames(self) -> "tuple[EpochFrame, ...]":
+        return tuple(self._frames)
+
+    def observe_epoch(
+        self, frame: EpochFrame, *, metrics_snapshot: "dict | None" = None
+    ) -> "list[Path]":
+        """Append one epoch frame; dump a bundle per trigger it fires.
+
+        ``metrics_snapshot`` is the registry state at dump time (taken
+        under the registry lock by the caller); it rides along in every
+        bundle so a scrapeless deployment still gets the counters.
+        """
+        self._frames.append(frame)
+        written: "list[Path]" = []
+        for kind, reason in _frame_triggers(frame, self.fallback_level):
+            self.triggered[kind] = self.triggered.get(kind, 0) + 1
+            path = self._dump(kind, reason, frame, metrics_snapshot or {})
+            if path is not None:
+                written.append(path)
+        return written
+
+    def _dump(
+        self, kind: str, reason: str, frame: EpochFrame, metrics_snapshot: dict
+    ) -> "Path | None":
+        if self.incidents_dir is None or self._seq >= self.max_incidents:
+            return None
+        bundle = {
+            "format": INCIDENT_FORMAT,
+            "trigger": kind,
+            "reason": reason,
+            "epoch": frame.epoch,
+            "dumped_at": time.time(),
+            "window_epochs": [f.epoch for f in self._frames],
+            "frames": [f.to_json() for f in self._frames],
+            "metrics": metrics_snapshot,
+        }
+        name = f"incident-{self._seq:04d}-epoch{frame.epoch:05d}-{kind}.json"
+        self._seq += 1
+        path = self.incidents_dir / name
+        self.incidents_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(bundle, path)
+        self.bundles_written.append(path)
+        return path
+
+
+# ---------------------------------------------------------------------- #
+# bundle IO + rendering (``repro obs incidents``)
+# ---------------------------------------------------------------------- #
+
+
+def load_incident(path: "str | Path") -> dict:
+    """Parse one incident bundle, failing loudly on a foreign envelope."""
+    path = Path(path)
+    bundle = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(bundle, dict) or "trigger" not in bundle:
+        raise ValueError(f"{path} is not an incident bundle (no trigger field)")
+    version = bundle.get("format")
+    if version != INCIDENT_FORMAT:
+        raise ValueError(
+            f"unsupported incident bundle format v{version} in {path} "
+            f"(expected v{INCIDENT_FORMAT})"
+        )
+    return bundle
+
+
+def list_incidents(directory: "str | Path") -> "list[Path]":
+    """Bundle files in a directory, in dump (sequence) order."""
+    directory = Path(directory)
+    return sorted(directory.glob("incident-*.json"))
+
+
+def _bundle_trace(bundle: dict) -> TraceData:
+    """The window's trace records as one renderable :class:`TraceData`."""
+    spans: "list[dict]" = []
+    events: "list[dict]" = []
+    for frame in bundle.get("frames", []):
+        for record in frame.get("records", []):
+            if record.get("kind") == "span":
+                spans.append(record)
+            elif record.get("kind") == "event":
+                events.append(record)
+    return TraceData(spans=spans, events=events, metrics=bundle.get("metrics", {}))
+
+
+def render_incident(bundle: dict, *, top: int = 10, max_depth: "int | None" = None) -> str:
+    """Render one bundle like a trace summary focused on the incident."""
+    frames = bundle.get("frames", [])
+    window = bundle.get("window_epochs", [])
+    lines = [
+        f"incident: {bundle.get('trigger', '?')} at epoch {bundle.get('epoch', '?')} "
+        f"— {bundle.get('reason', '')}",
+        f"window: {len(frames)} epoch(s) "
+        + (f"[{window[0]}..{window[-1]}]" if window else "[]"),
+    ]
+    for frame in frames:
+        report = frame.get("report", {})
+        marks = []
+        if frame.get("worker_deaths"):
+            marks.append(f"{len(frame['worker_deaths'])} worker death(s)")
+        if report.get("fallback_level"):
+            marks.append(f"fallback L{report['fallback_level']}")
+        if report.get("deadline_hit"):
+            marks.append("deadline miss")
+        if report.get("reroute_swaps"):
+            marks.append(f"{report['reroute_swaps']} reroute swap(s)")
+        flag = "  ← " + ", ".join(marks) if marks else ""
+        lines.append(
+            f"  epoch {frame.get('epoch', '?'):>4}: "
+            f"offered {report.get('offered_volume', 0.0):.1f} Mb, "
+            f"served {report.get('served_volume', 0.0):.1f} Mb, "
+            f"backlog {report.get('backlog_after', 0.0):.1f} Mb, "
+            f"latency {frame.get('outcome', {}).get('epoch_latency_s', 0.0) * 1e3:.1f} ms"
+            f"{flag}"
+        )
+    data = _bundle_trace(bundle)
+    if data.spans:
+        lines.append("")
+        lines.append("span tree (window, siblings aggregated by name)")
+        lines.extend(render_span_tree(data, max_depth=max_depth))
+    if data.metrics:
+        lines.append("")
+        lines.append(f"top {top} counters at dump time")
+        lines.extend(render_counters(data.metrics, top=top))
+    return "\n".join(lines)
+
+
+def render_incident_listing(directory: "str | Path") -> str:
+    """One line per bundle in a directory (``repro obs incidents DIR``)."""
+    paths = list_incidents(directory)
+    if not paths:
+        return f"no incident bundles under {directory}"
+    lines = [f"{len(paths)} incident bundle(s) under {directory}"]
+    for path in paths:
+        try:
+            bundle = load_incident(path)
+        except (ValueError, OSError, json.JSONDecodeError):
+            lines.append(f"  {path.name:<48} (unreadable)")
+            continue
+        lines.append(
+            f"  {path.name:<48} epoch {bundle.get('epoch', '?'):>4}  "
+            f"{bundle.get('trigger', '?'):<14} {bundle.get('reason', '')}"
+        )
+    return "\n".join(lines)

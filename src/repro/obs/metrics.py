@@ -16,9 +16,20 @@ Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-serializable
 dicts; :meth:`MetricsRegistry.merge` folds one registry's snapshot into
 another (counters and histograms add, gauges last-write-wins), which is how
 forked sweep workers report their metrics back to the parent process.
+
+Thread safety: every metric in a registry shares the registry's re-entrant
+lock — mutations (``inc``/``set``/``observe``/``_merge``) and reads
+(:meth:`MetricsRegistry.snapshot`) serialize on it, so a snapshot taken
+while another thread increments (the live ``/metrics`` scrape path) is a
+consistent point-in-time cut: no torn histogram (``sum`` without its
+``count``), no half-applied worker-blob merge.  The lock is only ever
+touched when a *real* registry is installed; the null backend stays
+lock-free, so the off-path overhead guarantee is untouched.
 """
 
 from __future__ import annotations
+
+import threading
 
 #: Default histogram bucket upper bounds (seconds, tuned for scheduler /
 #: simulation phases ranging from microseconds to minutes).
@@ -37,38 +48,51 @@ class Counter:
 
     kind = "counter"
 
-    def __init__(self, name: str, description: str = "", labels: "dict | None" = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        labels: "dict | None" = None,
+        lock: "threading.RLock | None" = None,
+    ) -> None:
         self.name = name
         self.description = description
         self.label_values: dict = dict(labels or {})
         self.value: float = 0.0
         self._children: "dict[tuple, Counter]" = {}
+        # Shared with every labeled child (and, via the registry, with
+        # every sibling metric) so snapshot() is one consistent cut.
+        self._lock = lock if lock is not None else threading.RLock()
 
     def labels(self, **kv) -> "Counter":
         key = _label_key(kv)
-        child = self._children.get(key)
-        if child is None:
-            child = Counter(self.name, self.description, labels=kv)
-            self._children[key] = child
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = type(self)(self.name, self.description, labels=kv, lock=self._lock)
+                self._children[key] = child
         return child
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def _values(self) -> "list[dict]":
-        out = []
-        if self.value or not self._children:
-            out.append({"labels": self.label_values, "value": self.value})
-        for child in self._children.values():
-            out.extend(child._values())
-        return out
+        with self._lock:
+            out = []
+            if self.value or not self._children:
+                out.append({"labels": self.label_values, "value": self.value})
+            for child in self._children.values():
+                out.extend(child._values())
+            return out
 
     def _merge(self, entry: dict) -> None:
-        labels = entry.get("labels") or {}
-        target = self.labels(**labels) if labels else self
-        target.value += float(entry.get("value", 0.0))
+        with self._lock:
+            labels = entry.get("labels") or {}
+            target = self.labels(**labels) if labels else self
+            target.value += float(entry.get("value", 0.0))
 
 
 class Gauge(Counter):
@@ -76,27 +100,26 @@ class Gauge(Counter):
 
     kind = "gauge"
 
-    def labels(self, **kv) -> "Gauge":
-        key = _label_key(kv)
-        child = self._children.get(key)
-        if child is None:
-            child = Gauge(self.name, self.description, labels=kv)
-            self._children[key] = child
-        return child
+    # labels() is inherited: it builds children via ``type(self)``, so a
+    # labeled child of a Gauge is a Gauge sharing the same lock.
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def _merge(self, entry: dict) -> None:
-        labels = entry.get("labels") or {}
-        target = self.labels(**labels) if labels else self
-        target.value = float(entry.get("value", 0.0))
+        with self._lock:
+            labels = entry.get("labels") or {}
+            target = self.labels(**labels) if labels else self
+            target.value = float(entry.get("value", 0.0))
 
 
 class Histogram:
@@ -110,6 +133,7 @@ class Histogram:
         description: str = "",
         buckets: "tuple[float, ...]" = DEFAULT_BUCKETS,
         labels: "dict | None" = None,
+        lock: "threading.RLock | None" = None,
     ) -> None:
         if list(buckets) != sorted(buckets):
             raise ValueError(f"histogram {name} buckets must be sorted")
@@ -122,52 +146,59 @@ class Histogram:
         # One slot per bucket plus the +Inf overflow slot.
         self.bucket_counts = [0] * (len(self.buckets) + 1)
         self._children: "dict[tuple, Histogram]" = {}
+        self._lock = lock if lock is not None else threading.RLock()
 
     def labels(self, **kv) -> "Histogram":
         key = _label_key(kv)
-        child = self._children.get(key)
-        if child is None:
-            child = Histogram(self.name, self.description, self.buckets, labels=kv)
-            self._children[key] = child
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = Histogram(
+                    self.name, self.description, self.buckets, labels=kv, lock=self._lock
+                )
+                self._children[key] = child
         return child
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.sum += value
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     def _values(self) -> "list[dict]":
-        out = []
-        if self.count or not self._children:
-            out.append(
-                {
-                    "labels": self.label_values,
-                    "count": self.count,
-                    "sum": self.sum,
-                    "bucket_counts": list(self.bucket_counts),
-                    "buckets": list(self.buckets),
-                }
-            )
-        for child in self._children.values():
-            out.extend(child._values())
-        return out
+        with self._lock:
+            out = []
+            if self.count or not self._children:
+                out.append(
+                    {
+                        "labels": self.label_values,
+                        "count": self.count,
+                        "sum": self.sum,
+                        "bucket_counts": list(self.bucket_counts),
+                        "buckets": list(self.buckets),
+                    }
+                )
+            for child in self._children.values():
+                out.extend(child._values())
+            return out
 
     def _merge(self, entry: dict) -> None:
-        labels = entry.get("labels") or {}
-        target = self.labels(**labels) if labels else self
-        target.count += int(entry.get("count", 0))
-        target.sum += float(entry.get("sum", 0.0))
-        counts = entry.get("bucket_counts") or []
-        if len(counts) == len(target.bucket_counts):
-            target.bucket_counts = [
-                a + b for a, b in zip(target.bucket_counts, counts)
-            ]
-        elif counts:  # foreign bucket layout: keep totals, drop the shape
-            target.bucket_counts[-1] += sum(counts)
+        with self._lock:
+            labels = entry.get("labels") or {}
+            target = self.labels(**labels) if labels else self
+            target.count += int(entry.get("count", 0))
+            target.sum += float(entry.get("sum", 0.0))
+            counts = entry.get("bucket_counts") or []
+            if len(counts) == len(target.bucket_counts):
+                target.bucket_counts = [
+                    a + b for a, b in zip(target.bucket_counts, counts)
+                ]
+            elif counts:  # foreign bucket layout: keep totals, drop the shape
+                target.bucket_counts[-1] += sum(counts)
 
 
 class MetricsRegistry:
@@ -177,23 +208,33 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: "dict[str, Counter | Gauge | Histogram]" = {}
+        # One re-entrant lock for the whole registry, shared by every
+        # metric it creates: holding it in snapshot()/merge() excludes
+        # every concurrent inc()/observe() in one shot (re-entrant because
+        # merge() re-enters through each metric's _merge()).
+        self._lock = threading.RLock()
 
     def _get(self, name: str, factory, kind: str):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = factory()
-            self._metrics[name] = metric
-        elif metric.kind != kind:
-            raise ValueError(
-                f"metric {name!r} already registered as a {metric.kind}, not a {kind}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif metric.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {metric.kind}, not a {kind}"
+                )
+            return metric
 
     def counter(self, name: str, description: str = "") -> Counter:
-        return self._get(name, lambda: Counter(name, description), "counter")
+        return self._get(
+            name, lambda: Counter(name, description, lock=self._lock), "counter"
+        )
 
     def gauge(self, name: str, description: str = "") -> Gauge:
-        return self._get(name, lambda: Gauge(name, description), "gauge")
+        return self._get(
+            name, lambda: Gauge(name, description, lock=self._lock), "gauge"
+        )
 
     def histogram(
         self,
@@ -201,33 +242,49 @@ class MetricsRegistry:
         description: str = "",
         buckets: "tuple[float, ...]" = DEFAULT_BUCKETS,
     ) -> Histogram:
-        return self._get(name, lambda: Histogram(name, description, buckets), "histogram")
+        return self._get(
+            name,
+            lambda: Histogram(name, description, buckets, lock=self._lock),
+            "histogram",
+        )
 
     def reset(self) -> None:
         """Drop every metric (fork workers call this before their trial)."""
-        self._metrics = {}
+        with self._lock:
+            self._metrics = {}
 
     # ------------------------------------------------------------------ #
     # snapshots
     # ------------------------------------------------------------------ #
 
     def snapshot(self) -> dict:
-        """JSON-serializable dump of every metric and labeled child."""
-        return {
-            name: {
-                "type": metric.kind,
-                "description": metric.description,
-                "values": metric._values(),
+        """JSON-serializable dump of every metric and labeled child.
+
+        Taken under the registry lock: a scrape racing the service loop
+        sees every metric at one instant, never a torn cut.
+        """
+        with self._lock:
+            return {
+                name: {
+                    "type": metric.kind,
+                    "description": metric.description,
+                    "values": metric._values(),
+                }
+                for name, metric in sorted(self._metrics.items())
             }
-            for name, metric in sorted(self._metrics.items())
-        }
 
     def merge(self, snapshot: dict) -> None:
         """Fold another registry's snapshot into this one.
 
         Counters and histograms accumulate; gauges take the incoming value
-        (the child process observed it later than we did).
+        (the child process observed it later than we did).  Atomic under
+        the registry lock: a concurrent :meth:`snapshot` sees the whole
+        worker blob applied or none of it.
         """
+        with self._lock:
+            self._merge_locked(snapshot)
+
+    def _merge_locked(self, snapshot: dict) -> None:
         for name, payload in (snapshot or {}).items():
             kind = payload.get("type", "counter")
             description = payload.get("description", "")

@@ -99,6 +99,27 @@ class TrialStatus:
 
 
 @dataclass
+class ServiceStatus:
+    """A running scheduling service as seen through its heartbeat + journal.
+
+    A service journal has no sweep header and no trial specs — progress is
+    an open-ended epoch counter, and liveness is the ``service`` heartbeat
+    the loop's ticker keeps fresh (same monotonic staleness contract as
+    trial beats).
+    """
+
+    epoch: "int | None" = None
+    epochs_done: int = 0
+    backlog_mb: "float | None" = None
+    fallback_level: "int | None" = None
+    burn_rates: "dict | None" = None
+    has_beat: bool = False
+    idle_s: "float | None" = None
+    stale: bool = False
+    stale_after_s: float = STALE_AFTER_S
+
+
+@dataclass
 class WatchState:
     """One snapshot of a sweep's progress (everything the renderer needs)."""
 
@@ -114,9 +135,14 @@ class WatchState:
     eta_s: "float | None" = None
     straggler_cutoff_s: "float | None" = None
     torn_lines: int = 0
+    service: "ServiceStatus | None" = None
 
     @property
     def finished(self) -> bool:
+        if self.service is not None:
+            # A service has no trial count to complete; the follow loop
+            # should stop when the service itself is gone or wedged.
+            return not self.service.has_beat or self.service.stale
         return self.done + self.failed >= self.total
 
 
@@ -158,13 +184,19 @@ def collect_state(
     journal_path = Path(journal_path)
     journal = RunJournal(journal_path)
     header = journal.header
+    now = time.time() if now is None else now
+    now_mono = time.monotonic() if now_mono is None else now_mono
     if header is None:
+        # Not a sweep.  A *service* journal is headerless but carries epoch
+        # records and/or a "service" heartbeat — render that as a service
+        # row instead of bailing on an anonymous unsettled trial.
+        state = _collect_service_state(journal_path, journal, now, now_mono)
+        if state is not None:
+            return state
         raise ValueError(
             f"{journal_path} has no sweep header — not a sweep journal "
             "(pass the journal `python -m repro sweep --journal` wrote)"
         )
-    now = time.time() if now is None else now
-    now_mono = time.monotonic() if now_mono is None else now_mono
 
     spec_keys = [item["key"] for item in header.get("spec", [])]
     done_keys = set(journal.completed())
@@ -241,6 +273,63 @@ def collect_state(
     )
 
 
+def _collect_service_state(
+    journal_path: Path, journal: RunJournal, now: float, now_mono: float
+) -> "WatchState | None":
+    """Snapshot a headerless *service* journal, or ``None`` if it is not one.
+
+    Recognizes a service by either signal: ``kind == "epoch"`` records in
+    the journal (the controller writes one per epoch) or a ``service``
+    heartbeat in the journal's heartbeat directory (the loop's ticker).
+    """
+    epoch_reports = [
+        record.get("report") or {}
+        for record in journal.records
+        if record.get("kind") == "epoch"
+    ]
+    beat = read_heartbeats(heartbeat_dir(journal_path)).get("service")
+    if beat is None and not epoch_reports:
+        return None
+
+    status = ServiceStatus()
+    if epoch_reports:
+        last = epoch_reports[-1]
+        status.epoch = last.get("epoch")
+        status.epochs_done = len(epoch_reports)
+        status.backlog_mb = last.get("backlog_after")
+        status.fallback_level = last.get("fallback_level")
+    if beat is not None:
+        status.has_beat = True
+        status.idle_s = _elapsed_s(
+            beat, "last_progress_mono", "last_progress", now, now_mono
+        )
+        status.stale_after_s = _stale_horizon_s(beat)
+        status.stale = status.idle_s > status.stale_after_s
+        # The ticker's advisory extras beat the journal: they refresh every
+        # beat, the journal only at each atomic rewrite.
+        if isinstance(beat.get("service_epoch"), int):
+            status.epoch = int(beat["service_epoch"])
+        if isinstance(beat.get("epochs_done"), int):
+            status.epochs_done = max(status.epochs_done, int(beat["epochs_done"]))
+        if isinstance(beat.get("backlog_mb"), (int, float)):
+            status.backlog_mb = float(beat["backlog_mb"])
+        if isinstance(beat.get("fallback_level"), int):
+            status.fallback_level = int(beat["fallback_level"])
+        if isinstance(beat.get("slo_burn_rate"), dict):
+            status.burn_rates = dict(beat["slo_burn_rate"])
+
+    return WatchState(
+        sweep="service",
+        journal_path=str(journal_path),
+        total=status.epochs_done,
+        done=status.epochs_done,
+        failed=0,
+        pending=0,
+        torn_lines=journal.torn_lines,
+        service=status,
+    )
+
+
 # ---------------------------------------------------------------------- #
 # rendering
 # ---------------------------------------------------------------------- #
@@ -266,8 +355,46 @@ def _progress_bar(done: int, failed: int, total: int, width: int = 30) -> str:
     return "[" + "#" * filled + "x" * crossed + "-" * (width - filled - crossed) + "]"
 
 
+def _render_service(state: WatchState) -> str:
+    """One status frame for a scheduling service (headerless journal)."""
+    status = state.service
+    assert status is not None
+    lines = [f"service — {state.journal_path}"]
+    row = f"  epoch {status.epoch if status.epoch is not None else '?'}"
+    if status.epochs_done:
+        row += f" ({status.epochs_done} done)"
+    if status.backlog_mb is not None:
+        row += f", backlog {status.backlog_mb:.1f} Mb"
+    if status.fallback_level is not None:
+        row += f", fallback L{status.fallback_level}"
+    lines.append(row)
+    if status.burn_rates:
+        rates = ", ".join(
+            f"{label} {float(rate):.0%}" for label, rate in status.burn_rates.items()
+        )
+        lines.append(f"  slo burn rate: {rates}")
+    if not status.has_beat:
+        lines.append("  heartbeat: missing (service stopped, or heartbeat disabled)")
+    elif status.stale:
+        lines.append(
+            f"  heartbeat: STALE (no progress {_fmt_duration(status.idle_s or 0.0)}, "
+            f"expected every "
+            f"{_fmt_duration(status.stale_after_s / STALE_INTERVAL_MULTIPLIER)})"
+        )
+    else:
+        lines.append(
+            f"  heartbeat: fresh (idle {_fmt_duration(status.idle_s or 0.0)}, "
+            f"stale after {_fmt_duration(status.stale_after_s)})"
+        )
+    if state.torn_lines:
+        lines.append(f"  (warning: {state.torn_lines} torn journal line(s) ignored)")
+    return "\n".join(lines)
+
+
 def render_watch(state: WatchState) -> str:
     """One status frame as text (``repro obs watch``)."""
+    if state.service is not None:
+        return _render_service(state)
     lines = [
         f"sweep {state.sweep!r} — {state.journal_path}",
         (

@@ -196,6 +196,11 @@ class WorkerPool:
         self.timeout_s = timeout_s
         self.worker_deaths = 0
         self.tasks_retried = 0
+        #: Structured crash records, one per buried worker — the service's
+        #: flight recorder reads per-epoch deltas off the tail.  Appended
+        #: from whichever thread runs ``map()``; readers take len-slices
+        #: (list appends are atomic under the GIL).
+        self.death_log: "list[dict]" = []
         self._closed = False
         self._workers: "list[_Worker]" = [self._spawn() for _ in range(n_workers)]
 
@@ -210,14 +215,37 @@ class WorkerPool:
         child_conn.close()
         return _Worker(process, parent_conn)
 
-    def _bury(self, worker: _Worker) -> _Worker:
+    def _bury(
+        self, worker: _Worker, *, reason: str = "crashed", task: "str | None" = None
+    ) -> _Worker:
         """Retire a dead/wedged worker and return its warm replacement."""
         self.worker_deaths += 1
+        pid = worker.pid
         worker.kill()
         self._workers.remove(worker)
         replacement = self._spawn()
         self._workers.append(replacement)
+        self.death_log.append(
+            {
+                "pid": pid,
+                "reason": reason,
+                "task": task,
+                "respawned_pid": replacement.pid,
+                "mono": time.monotonic(),
+            }
+        )
         return replacement
+
+    def liveness(self) -> dict:
+        """Pool liveness snapshot for the service's ``/status`` endpoint."""
+        workers = list(self._workers)
+        return {
+            "pids": sorted(w.pid for w in workers if w.pid is not None),
+            "alive": sum(1 for w in workers if w.alive()),
+            "deaths": self.worker_deaths,
+            "tasks_retried": self.tasks_retried,
+            "closed": self._closed,
+        }
 
     @property
     def n_workers(self) -> int:
@@ -256,7 +284,7 @@ class WorkerPool:
                 try:
                     worker.conn.send((index, task.fn, dict(task.kwargs)))
                 except (BrokenPipeError, OSError):
-                    replacement = self._bury(worker)
+                    replacement = self._bury(worker, reason="dispatch-failed", task=task.name)
                     idle.append(replacement)
                     attempts[index] -= 1  # the attempt never started
                     pending.appendleft(index)
@@ -293,7 +321,7 @@ class WorkerPool:
                     c for c, (_, _, t0) in busy.items() if now - t0 >= self.timeout_s
                 ]:
                     worker, index, started = busy.pop(conn)
-                    self._bury(worker)
+                    self._bury(worker, reason="timeout", task=tasks[index].name)
                     idle.append(self._workers[-1])
                     fail_or_retry(
                         index,
@@ -306,7 +334,7 @@ class WorkerPool:
                 try:
                     task_id, status, body, pid, blob = conn.recv()
                 except (EOFError, OSError):
-                    self._bury(worker)
+                    self._bury(worker, reason="crashed", task=tasks[index].name)
                     idle.append(self._workers[-1])
                     fail_or_retry(
                         index,

@@ -37,7 +37,8 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -88,6 +89,21 @@ class ServiceConfig:
     heartbeat:
         Keep a ``service`` heartbeat fresh next to the controller's
         journal (monotonic-tick contract; a no-op without a journal path).
+    telemetry_port:
+        Bind the live telemetry HTTP server (``/metrics``, ``/healthz``,
+        ``/status``) on this port; ``0`` picks an ephemeral port (read
+        ``service.telemetry.port`` after start).  ``None`` (default)
+        disables the whole live plane — with it off the epoch path is
+        byte-for-byte the untelemetered loop.
+    telemetry_host:
+        Bind address for the telemetry server (loopback by default).
+    incidents_dir:
+        Where the flight recorder dumps incident bundles; defaults to
+        ``$REPRO_RUN_DIR/incidents`` when the telemetry plane is on.
+        Setting it without ``telemetry_port`` enables the recorder alone
+        (bundles, no HTTP server).
+    recorder_epochs:
+        Flight-recorder ring size: epochs of context in each bundle.
     mono_clock / async_sleep:
         Injection seams for the epoch clock (tests step a fake clock).
     """
@@ -102,6 +118,10 @@ class ServiceConfig:
     stage_timeout_s: "float | None" = None
     drain: bool = True
     heartbeat: bool = True
+    telemetry_port: "int | None" = None
+    telemetry_host: str = "127.0.0.1"
+    incidents_dir: "str | Path | None" = None
+    recorder_epochs: int = 8
     mono_clock: Callable[[], float] = field(default=time.monotonic, repr=False)
     async_sleep: Callable = field(default=asyncio.sleep, repr=False)
 
@@ -118,6 +138,14 @@ class ServiceConfig:
             )
         if self.stage_retries < 0:
             raise ValueError(f"stage_retries must be >= 0, got {self.stage_retries}")
+        if self.telemetry_port is not None and self.telemetry_port < 0:
+            raise ValueError(
+                f"telemetry_port must be >= 0 (or None), got {self.telemetry_port}"
+            )
+        if self.recorder_epochs < 1:
+            raise ValueError(
+                f"recorder_epochs must be >= 1, got {self.recorder_epochs}"
+            )
 
 
 @dataclass(frozen=True)
@@ -149,6 +177,7 @@ class ServiceReport:
     shed_mb: float = 0.0
     parked_mb: float = 0.0
     backlog_mb: float = 0.0
+    incident_bundles: "list[str]" = field(default_factory=list)
 
     @property
     def reports(self) -> "list[EpochReport]":
@@ -179,6 +208,13 @@ class SchedulingService:
         self.config = config if config is not None else ServiceConfig()
         self._stop_requested = False
         self._stop_event: "asyncio.Event | None" = None
+        #: Live telemetry plane; ``None`` until a run starts with
+        #: ``telemetry_port`` / ``incidents_dir`` configured.  Smokes read
+        #: ``service.telemetry.port`` to find the ephemeral scrape port.
+        self.telemetry = None
+        # Advisory heartbeat extras, replaced wholesale each epoch so the
+        # ticker thread always reads a complete dict (no partial updates).
+        self._hb_status: dict = {"service_epoch": None, "epochs_done": 0}
 
     # ------------------------------------------------------------------ #
 
@@ -186,8 +222,101 @@ class SchedulingService:
         """Ask the loop to stop at the next batch boundary (thread-safe-ish:
         call from the loop thread or a signal handler on the loop)."""
         self._stop_requested = True
+        if self.telemetry is not None:
+            self.telemetry.set_draining(True)
         if self._stop_event is not None:
             self._stop_event.set()
+
+    # ------------------------------------------------------------------ #
+    # live telemetry plane
+    # ------------------------------------------------------------------ #
+
+    def _build_telemetry(self, pool: "WorkerPool | None" = None):
+        """Construct the :class:`~repro.obs.live.LiveTelemetry` facade, or
+        ``None`` when the config leaves the whole plane off (the default —
+        nothing below this line runs on the untelemetered path)."""
+        config = self.config
+        if config.telemetry_port is None and config.incidents_dir is None:
+            return None
+        # Local imports: the live plane is opt-in, and loop.py must stay
+        # importable without dragging the HTTP/incident machinery along.
+        from repro.analysis.sweeps import default_run_dir
+        from repro.obs.incidents import FlightRecorder
+        from repro.obs.live import LiveTelemetry
+
+        incidents_dir = config.incidents_dir
+        if incidents_dir is None:
+            incidents_dir = default_run_dir() / "incidents"
+        recorder = FlightRecorder(
+            incidents_dir, window_epochs=config.recorder_epochs
+        )
+        return LiveTelemetry(
+            registry=obs.get_metrics(),
+            port=config.telemetry_port,
+            host=config.telemetry_host,
+            recorder=recorder,
+            pool_status_fn=pool.liveness if pool is not None else None,
+        )
+
+    def _heartbeat_status(self) -> dict:
+        """Advisory extras for the service heartbeat (ticker thread)."""
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.touch()  # /healthz freshness rides the same beat
+        return dict(self._hb_status)
+
+    def _slo_reasons(self, report: EpochReport, latency_s: float) -> "list[str]":
+        reasons: "list[str]" = []
+        if report.deadline_hit:
+            reasons.append("schedule_deadline")
+        if (
+            self.config.epoch_interval_s > 0
+            and latency_s > self.config.epoch_interval_s
+        ):
+            reasons.append("epoch_overrun")
+        return reasons
+
+    def _note_epoch(
+        self,
+        epoch: int,
+        outcome: EpochOutcome,
+        *,
+        records: "list[dict]",
+        deaths: "list[dict]",
+    ) -> "list[str]":
+        """Update heartbeat extras + feed the telemetry plane one epoch.
+
+        Returns the incident-bundle paths the flight recorder wrote (as
+        strings, ready for :attr:`ServiceReport.incident_bundles`).
+        """
+        report = outcome.report
+        status = {
+            "service_epoch": epoch,
+            "epochs_done": int(self._hb_status.get("epochs_done", 0)) + 1,
+            "backlog_mb": report.backlog_after,
+            "fallback_level": report.fallback_level,
+        }
+        telemetry = self.telemetry
+        if telemetry is None:
+            self._hb_status = status
+            return []
+        paths = telemetry.on_epoch(
+            epoch=epoch,
+            report=asdict(report),
+            outcome={
+                "slo_violation": outcome.slo_violation,
+                "slo_reasons": self._slo_reasons(report, outcome.epoch_latency_s),
+                "epoch_latency_s": outcome.epoch_latency_s,
+                "stage_failures": outcome.stage_failures,
+                "stage_retries": outcome.stage_retries,
+                "shard_pids": list(outcome.shard_pids),
+            },
+            records=records,
+            worker_deaths=deaths,
+        )
+        status["slo_burn_rate"] = telemetry.burn.rates()
+        self._hb_status = status
+        return [str(path) for path in paths]
 
     # ------------------------------------------------------------------ #
 
@@ -306,18 +435,44 @@ class SchedulingService:
         if self.config.n_epochs is None:
             raise ValueError("run_sync() needs a finite n_epochs")
         report = ServiceReport()
-        for epoch in range(self.config.n_epochs):
-            if self._stop_requested:
-                report.stopped_early = True
-                break
-            report.admitted_mb += self.controller.offer(self.arrivals(epoch))
-            start = time.perf_counter()
-            epoch_report, _result = self.controller.run_epoch(epoch)
-            outcome = self._outcome(
-                epoch_report, [], 0, time.perf_counter() - start
-            )
-            report.outcomes.append(outcome)
-            self._publish_epoch(outcome)
+        self.telemetry = self._build_telemetry()
+        if self.telemetry is not None:
+            self.telemetry.start()
+        tracer = obs.get_tracer()
+        trace_watermark = (
+            len(tracer.records())
+            if self.telemetry is not None and tracer.enabled
+            else 0
+        )
+        try:
+            for epoch in range(self.config.n_epochs):
+                if self._stop_requested:
+                    report.stopped_early = True
+                    break
+                report.admitted_mb += self.controller.offer(self.arrivals(epoch))
+                start = time.perf_counter()
+                epoch_report, _result = self.controller.run_epoch(epoch)
+                outcome = self._outcome(
+                    epoch_report, [], 0, time.perf_counter() - start
+                )
+                report.outcomes.append(outcome)
+                self._publish_epoch(outcome)
+                if self.telemetry is not None and tracer.enabled:
+                    # Non-destructive len-watermark slice: ``records()`` is
+                    # the whole buffer, the tail past the mark is this epoch.
+                    records = tracer.records()
+                    epoch_records = list(records[trace_watermark:])
+                    trace_watermark = len(records)
+                else:
+                    epoch_records = []
+                report.incident_bundles.extend(
+                    self._note_epoch(
+                        epoch, outcome, records=epoch_records, deaths=[]
+                    )
+                )
+        finally:
+            if self.telemetry is not None:
+                self.telemetry.stop()
         return self._finalize(report)
 
     async def run(self) -> ServiceReport:
@@ -337,11 +492,24 @@ class SchedulingService:
             if config.n_workers > 0 and (config.arms or config.shard_backups)
             else None
         )
+        self.telemetry = self._build_telemetry(pool)
+        if self.telemetry is not None:
+            self.telemetry.start()
+        tracer = obs.get_tracer()
+        trace_watermark = (
+            len(tracer.records())
+            if self.telemetry is not None and tracer.enabled
+            else 0
+        )
+        death_watermark = len(pool.death_log) if pool is not None else 0
         ticker = None
         journal = self.controller.journal
         if config.heartbeat and journal is not None and journal.path is not None:
             ticker = HeartbeatTicker(
-                heartbeat_dir(journal.path), "service", experiment="service"
+                heartbeat_dir(journal.path),
+                "service",
+                experiment="service",
+                status_fn=self._heartbeat_status,
             ).start()
 
         report = ServiceReport()
@@ -391,6 +559,27 @@ class SchedulingService:
                 )
                 report.outcomes.append(outcome)
                 self._publish_epoch(outcome)
+                if self.telemetry is not None and tracer.enabled:
+                    # Non-destructive len-watermark slice: the tail past the
+                    # mark is everything closed this epoch, absorbed worker
+                    # blobs included (absorb_observations ran just above).
+                    records = tracer.records()
+                    epoch_records = list(records[trace_watermark:])
+                    trace_watermark = len(records)
+                else:
+                    epoch_records = []
+                deaths: "list[dict]" = []
+                if pool is not None:
+                    # Len-slice off the tail: appends are GIL-atomic and
+                    # only ever grow the list.
+                    log = pool.death_log
+                    deaths = list(log[death_watermark : len(log)])
+                    death_watermark += len(deaths)
+                report.incident_bundles.extend(
+                    self._note_epoch(
+                        epoch, outcome, records=epoch_records, deaths=deaths
+                    )
+                )
                 epochs_done += 1
         finally:
             if not ingest.done():
@@ -408,6 +597,8 @@ class SchedulingService:
                 pool.close()
             if ticker is not None:
                 ticker.stop()
+            if self.telemetry is not None:
+                self.telemetry.stop()
             self._stop_event = None
         report.stopped_early = self._stop_requested
         return self._finalize(report)

@@ -25,6 +25,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.core.scheduler import CpSwitchScheduler
 from repro.faults.plan import FaultPlan
 from repro.faults.reroute import BackupPlanner
@@ -46,13 +47,14 @@ def scheduler_arm(
 ) -> dict:
     """Score one independent scheduler arm on an epoch's demand snapshot."""
     start = time.perf_counter()
-    scheduler = make_scheduler(name)
-    if use_composite_paths:
-        schedule = CpSwitchScheduler(scheduler).schedule(demand, params)
-        result = simulate_cp(demand, schedule, params, horizon=horizon)
-    else:
-        schedule = scheduler.schedule(demand, params)
-        result = simulate_hybrid(demand, schedule, params, horizon=horizon)
+    with obs.profiled("service.stage", stage="arm", arm=name):
+        scheduler = make_scheduler(name)
+        if use_composite_paths:
+            schedule = CpSwitchScheduler(scheduler).schedule(demand, params)
+            result = simulate_cp(demand, schedule, params, horizon=horizon)
+        else:
+            schedule = scheduler.schedule(demand, params)
+            result = simulate_hybrid(demand, schedule, params, horizon=horizon)
     residual = (
         float(result.residual.sum()) if result.residual is not None else 0.0
     )
@@ -76,20 +78,21 @@ def backup_arm(
 ) -> dict:
     """Precompute fast-reroute backups for an epoch's demand snapshot."""
     start = time.perf_counter()
-    cp = CpSwitchScheduler(make_scheduler(name))
-    schedule = cp.schedule(
-        demand,
-        params,
-        blocked_o2m=set(blocked_o2m) or None,
-        blocked_m2o=set(blocked_m2o) or None,
-    )
-    backups = BackupPlanner(cp).plan(
-        demand,
-        schedule,
-        params,
-        blocked_o2m=set(blocked_o2m),
-        blocked_m2o=set(blocked_m2o),
-    )
+    with obs.profiled("service.stage", stage="backup", arm=name):
+        cp = CpSwitchScheduler(make_scheduler(name))
+        schedule = cp.schedule(
+            demand,
+            params,
+            blocked_o2m=set(blocked_o2m) or None,
+            blocked_m2o=set(blocked_m2o) or None,
+        )
+        backups = BackupPlanner(cp).plan(
+            demand,
+            schedule,
+            params,
+            blocked_o2m=set(blocked_o2m),
+            blocked_m2o=set(blocked_m2o),
+        )
     return {
         "arm": f"backup:{name}",
         "n_armed": backups.n_armed,
@@ -110,19 +113,20 @@ def robustness_arm(
 ) -> dict:
     """Replay an epoch's schedule under a seeded composite-outage draw."""
     start = time.perf_counter()
-    cp = CpSwitchScheduler(make_scheduler(name))
-    schedule = cp.schedule(demand, params)
-    plan = FaultPlan(
-        seed=seed,
-        o2m_outage_rate=o2m_outage_rate,
-        m2o_outage_rate=m2o_outage_rate,
-    )
-    result = simulate_cp(
-        demand,
-        schedule,
-        params,
-        faults=plan.injector(params.n_ports, stream=stream),
-    )
+    with obs.profiled("service.stage", stage="robustness", arm=name):
+        cp = CpSwitchScheduler(make_scheduler(name))
+        schedule = cp.schedule(demand, params)
+        plan = FaultPlan(
+            seed=seed,
+            o2m_outage_rate=o2m_outage_rate,
+            m2o_outage_rate=m2o_outage_rate,
+        )
+        result = simulate_cp(
+            demand,
+            schedule,
+            params,
+            faults=plan.injector(params.n_ports, stream=stream),
+        )
     summary = result.fault_summary
     residual = (
         float(result.residual.sum()) if result.residual is not None else 0.0

@@ -76,6 +76,21 @@ class TestRender:
     def test_empty_snapshot_is_just_eof(self):
         assert render_openmetrics({}) == "# EOF\n"
 
+    def test_declared_inf_bound_emits_single_inf_bucket(self):
+        # Regression: a histogram declared with an explicit math.inf bound
+        # used to render *two* le="+Inf" samples (the declared bound plus
+        # the synthetic overflow line) — an OpenMetrics parse error.
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, math.inf))
+        hist.observe(0.5)
+        hist.observe(2.0)
+        text = render_openmetrics(registry.snapshot())
+        inf_lines = [
+            line for line in text.splitlines() if line.startswith('h_bucket{le="+Inf"')
+        ]
+        assert inf_lines == ['h_bucket{le="+Inf"} 2']
+        assert "h_count 2" in text
+
     def test_unlabeled_histogram_with_labels_mixed(self):
         registry = MetricsRegistry()
         hist = registry.histogram("h", buckets=(1.0,))

@@ -436,6 +436,112 @@ class TestWatchLoop:
             main(["obs", "watch", str(path)])
 
 
+class TestServiceJournal:
+    """A headerless service journal renders as a service row, not an error."""
+
+    def _service_journal(self, tmp_path, *, epochs=3):
+        journal = RunJournal(tmp_path / "service.jsonl")
+        for epoch in range(epochs):
+            journal.append(
+                {
+                    "kind": "epoch",
+                    "report": {
+                        "epoch": epoch,
+                        "backlog_after": 1.5 * (epoch + 1),
+                        "fallback_level": epoch % 2,
+                    },
+                    "diagnostics": [],
+                }
+            )
+        return journal
+
+    def test_epoch_records_render_service_row(self, tmp_path):
+        journal = self._service_journal(tmp_path)
+        state = collect_state(journal.path)
+        assert state.service is not None
+        assert state.sweep == "service"
+        assert state.service.epoch == 2
+        assert state.service.epochs_done == 3
+        assert state.service.backlog_mb == pytest.approx(4.5)
+        text = render_watch(state)
+        assert text.startswith("service — ")
+        assert "epoch 2 (3 done)" in text
+        assert "backlog 4.5 Mb" in text
+        assert "heartbeat: missing" in text
+
+    def test_heartbeat_extras_override_journal(self, tmp_path):
+        journal = self._service_journal(tmp_path)
+        hb = heartbeat_dir(journal.path)
+        write_heartbeat(
+            hb,
+            "service",
+            phase="serving",
+            experiment="service",
+            extra={
+                "service_epoch": 9,
+                "epochs_done": 10,
+                "backlog_mb": 0.25,
+                "fallback_level": 2,
+                "slo_burn_rate": {"1m": 0.5, "10m": 0.1},
+            },
+        )
+        state = collect_state(journal.path)
+        status = state.service
+        assert status is not None and status.has_beat
+        assert status.epoch == 9
+        assert status.epochs_done == 10
+        assert status.backlog_mb == 0.25
+        assert status.fallback_level == 2
+        text = render_watch(state)
+        assert "epoch 9 (10 done)" in text
+        assert "fallback L2" in text
+        assert "slo burn rate:" in text
+        assert "1m 50%" in text and "10m 10%" in text
+        assert "heartbeat: fresh" in text
+        assert not state.finished
+
+    def test_heartbeat_alone_is_a_service(self, tmp_path):
+        path = tmp_path / "service.jsonl"
+        RunJournal(path)  # journal exists but holds no records yet
+        write_heartbeat(
+            heartbeat_dir(path), "service", phase="serving", experiment="service"
+        )
+        state = collect_state(path)
+        assert state.service is not None
+        assert state.service.epoch is None
+        assert "epoch ?" in render_watch(state)
+
+    def test_stale_service_beat_flags_and_finishes(self, tmp_path):
+        journal = self._service_journal(tmp_path)
+        write_heartbeat(
+            heartbeat_dir(journal.path),
+            "service",
+            phase="serving",
+            experiment="service",
+            interval_s=1.0,
+            mono_clock=lambda: 0.0,
+        )
+        state = collect_state(journal.path, now_mono=100.0)
+        assert state.service is not None
+        assert state.service.stale
+        assert state.finished  # the follow loop must stop on a dead service
+        assert "heartbeat: STALE" in render_watch(state)
+
+    def test_plain_note_journal_still_rejected(self, tmp_path):
+        path = tmp_path / "plain.jsonl"
+        journal = RunJournal(path)
+        journal.append({"kind": "note", "text": "hi"})
+        with pytest.raises(ValueError, match="no sweep header"):
+            collect_state(path)
+
+    def test_cli_watch_renders_service_journal(self, tmp_path, capsys):
+        from repro.cli import main
+
+        journal = self._service_journal(tmp_path)
+        assert main(["obs", "watch", str(journal.path)]) == 0
+        assert "service — " in capsys.readouterr().out
+
+
 def test_watchstate_finished_property():
     state = WatchState(
         sweep="s", journal_path="p", total=3, done=2, failed=1, pending=0

@@ -110,6 +110,28 @@ class TestCrashRecovery:
         assert result.payload["recovered"] is True
         assert result.attempts == 2
 
+    def test_death_log_records_structured_crash(self, tmp_path):
+        marker = tmp_path / "died.marker"
+        with WorkerPool(2) as pool:
+            before = pool.liveness()
+            assert before["deaths"] == 0 and before["alive"] == 2
+            pool.map(
+                [StageTask(name="flaky", fn=_DIE_ONCE, kwargs={"marker": str(marker)})]
+            )
+            (death,) = pool.death_log
+            assert death["reason"] == "crashed"
+            assert death["task"] == "flaky"
+            assert isinstance(death["pid"], int)
+            assert isinstance(death["respawned_pid"], int)
+            assert death["respawned_pid"] != death["pid"]
+            assert isinstance(death["mono"], float)
+            after = pool.liveness()
+            assert after["deaths"] == 1
+            assert after["tasks_retried"] == 1
+            assert after["alive"] == 2
+            assert len(after["pids"]) == 2
+        assert pool.liveness()["closed"] is True
+
     def test_retry_budget_exhaustion_reports_crashed(self):
         with WorkerPool(1, retries=1) as pool:
             (result,) = pool.map([StageTask(name="doom", fn=_ALWAYS_DIE, kwargs={})])

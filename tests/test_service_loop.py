@@ -381,6 +381,160 @@ class TestSoak:
             assert payload["recovered"] is True
 
 
+class TestLiveTelemetry:
+    def test_scrape_endpoints_live_during_run(self, tmp_path):
+        import json
+        import urllib.request
+
+        service = SchedulingService(
+            make_controller(),
+            make_arrivals(),
+            ServiceConfig(
+                n_epochs=3,
+                n_workers=0,
+                telemetry_port=0,
+                incidents_dir=tmp_path / "incidents",
+            ),
+        )
+        scraped = {}
+
+        async def drive():
+            task = asyncio.ensure_future(service.run())
+            for _ in range(1000):
+                await asyncio.sleep(0.005)
+                if service.telemetry is not None and service.telemetry.port:
+                    break
+            port = service.telemetry.port
+
+            def get(path):
+                url = f"http://127.0.0.1:{port}{path}"
+                with urllib.request.urlopen(url, timeout=5) as response:
+                    return (
+                        response.status,
+                        response.read().decode("utf-8"),
+                        response.headers.get("Content-Type"),
+                    )
+
+            scraped["metrics"] = get("/metrics")
+            scraped["healthz"] = get("/healthz")
+            scraped["status"] = get("/status")
+            return await task
+
+        with obs.observability(tracer=obs.JsonlTracer(), metrics=obs.MetricsRegistry()):
+            report = asyncio.run(drive())
+        assert report.n_epochs == 3
+        code, text, ctype = scraped["metrics"]
+        assert code == 200
+        assert ctype.startswith("application/openmetrics-text")
+        assert text.endswith("# EOF\n")
+        assert scraped["healthz"][0] == 200
+        status = json.loads(scraped["status"][1])
+        assert status["draining"] is False
+        assert "slo_burn_rate" in status
+        assert "incidents" in status
+        # A healthy run trips no flight-recorder trigger.
+        assert report.incident_bundles == []
+        # The server is down after the run drains.
+        assert service.telemetry.port is None
+
+    def test_burn_gauges_published_per_epoch(self):
+        service = SchedulingService(
+            make_controller(),
+            make_arrivals(),
+            ServiceConfig(n_epochs=2, n_workers=0, telemetry_port=0),
+        )
+        registry = obs.MetricsRegistry()
+        with obs.observability(metrics=registry):
+            asyncio.run(service.run())
+        snapshot = registry.snapshot()
+        assert "service_slo_burn_rate" in snapshot
+        windows = {
+            entry["labels"]["window"]
+            for entry in snapshot["service_slo_burn_rate"]["values"]
+        }
+        assert windows == {"1m", "10m"}
+
+    def test_telemetry_on_is_bit_identical(self, tmp_path):
+        from dataclasses import asdict
+
+        def run(telemetry: bool) -> ServiceReport:
+            service = SchedulingService(
+                make_controller(),
+                make_arrivals(),
+                ServiceConfig(
+                    n_epochs=4,
+                    n_workers=0,
+                    telemetry_port=0 if telemetry else None,
+                    incidents_dir=(tmp_path / "incidents") if telemetry else None,
+                ),
+            )
+            return service.run_sync()
+
+        plain = run(False)
+        live = run(True)
+        assert [asdict(r) for r in live.reports] == [asdict(r) for r in plain.reports]
+
+    def test_deadline_misses_dump_slo_incidents(self, tmp_path):
+        from repro.obs.incidents import TRIGGER_SLO, load_incident
+
+        service = SchedulingService(
+            make_controller(deadline_s=2.5, deadline_clock=TickClock(3.0)),
+            make_arrivals(),
+            ServiceConfig(
+                n_epochs=2,
+                n_workers=0,
+                telemetry_port=None,  # recorder alone, no HTTP server
+                incidents_dir=tmp_path / "incidents",
+            ),
+        )
+        report = service.run_sync()
+        assert report.slo_violations == 2
+        slo_bundles = [
+            path for path in report.incident_bundles if TRIGGER_SLO in path
+        ]
+        assert len(slo_bundles) == 2
+        bundle = load_incident(slo_bundles[-1])
+        assert bundle["trigger"] == TRIGGER_SLO
+        assert bundle["frames"][-1]["outcome"]["slo_violation"] is True
+        assert "schedule_deadline" in bundle["frames"][-1]["outcome"]["slo_reasons"]
+
+    def test_worker_crash_dumps_incident(self, tmp_path, monkeypatch):
+        from repro.obs.incidents import TRIGGER_CRASH, load_incident
+
+        def dying_stage_tasks(self, demand, epoch):
+            if epoch != 1:
+                return []
+            return [
+                StageTask(
+                    name=f"die:{epoch}",
+                    fn=_DIE_ONCE,
+                    kwargs={"marker": str(tmp_path / f"epoch{epoch}.marker")},
+                )
+            ]
+
+        monkeypatch.setattr(SchedulingService, "_stage_tasks", dying_stage_tasks)
+        service = SchedulingService(
+            make_controller(),
+            make_arrivals(),
+            ServiceConfig(
+                n_epochs=3,
+                n_workers=2,
+                incidents_dir=tmp_path / "incidents",
+            ),
+        )
+        report = asyncio.run(service.run())
+        crash_bundles = [
+            path for path in report.incident_bundles if TRIGGER_CRASH in path
+        ]
+        assert len(crash_bundles) == 1
+        bundle = load_incident(crash_bundles[0])
+        assert bundle["epoch"] == 1
+        (death,) = bundle["frames"][-1]["worker_deaths"]
+        assert death["reason"] == "crashed"
+        assert death["task"] == "die:1"
+        assert isinstance(death["respawned_pid"], int)
+
+
 def test_service_report_defaults():
     report = ServiceReport()
     assert report.n_epochs == 0
